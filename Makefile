@@ -1,0 +1,40 @@
+# AzureBench reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench results quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B bench per paper table/figure plus engine micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at paper scale (~6 min).
+results:
+	$(GO) run ./cmd/azurebench -experiment all -csv | tee results_full.txt
+
+quick:
+	$(GO) run ./cmd/azurebench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/bagoftasks -workers 6 -tasks 30
+	$(GO) run ./examples/gisoverlay -cells 24
+	$(GO) run ./examples/mapreduce -workers 6 -points 6000 -iters 8
+	$(GO) run ./examples/livestore
+
+clean:
+	rm -f test_output.txt bench_output.txt

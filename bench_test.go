@@ -1,0 +1,107 @@
+// Benchmarks regenerating each of the paper's tables and figures at
+// reduced scale (one experiment data-point sweep per iteration). The
+// figures themselves are about *virtual* time; these testing.B benches
+// measure the wall cost of regenerating them and guard against
+// performance regressions in the simulator and engines. Run the paper
+// scale via cmd/azurebench.
+package azurebench_test
+
+import (
+	"testing"
+	"time"
+
+	"azurebench/internal/core"
+	"azurebench/internal/model"
+)
+
+// benchConfig is one small data-point sweep: big enough to exercise every
+// phase, small enough for testing.B iteration.
+func benchConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Workers = []int{1, 8}
+	cfg.BlobMB = 10
+	cfg.ChunkReads = 10
+	cfg.QueueMessages = 200
+	cfg.QueueSizesKB = []int{4}
+	cfg.SharedRounds = 50
+	cfg.ThinkTimes = []time.Duration{time.Second}
+	cfg.TableEntities = 20
+	cfg.TableSizesKB = []int{4}
+	return cfg
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := core.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	s := core.NewSuite(benchConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := exp.Run(s)
+		if len(rep.Figures) == 0 {
+			b.Fatal("experiment produced no figures")
+		}
+	}
+}
+
+// BenchmarkTableI_Lookup regenerates Table I (VM configurations).
+func BenchmarkTableI_Lookup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := model.VMSizeByName("ExtraLarge"); !ok {
+			b.Fatal("catalogue lookup failed")
+		}
+	}
+}
+
+// BenchmarkTableI_Render renders the Table I report.
+func BenchmarkTableI_Render(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig4_BlobUploadDownload regenerates Figure 4 (blob storage
+// upload/download time and throughput).
+func BenchmarkFig4_BlobUploadDownload(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5_ChunkedDownload regenerates Figure 5 (page-wise random and
+// block-wise sequential downloads).
+func BenchmarkFig5_ChunkedDownload(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6_QueuePerWorker regenerates Figure 6 (queue ops, dedicated
+// queue per worker).
+func BenchmarkFig6_QueuePerWorker(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7_SharedQueue regenerates Figure 7 (queue ops on a single
+// shared queue with think time).
+func BenchmarkFig7_SharedQueue(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8_TableCRUD regenerates Figure 8 (table insert/query/update/
+// delete).
+func BenchmarkFig8_TableCRUD(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9_PerOpTime regenerates Figure 9 (per-operation time, queue
+// vs table).
+func BenchmarkFig9_PerOpTime(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkThrottle_ServerBusy regenerates the scalability-target
+// throttling experiment (paper §IV prose).
+func BenchmarkThrottle_ServerBusy(b *testing.B) { runExperiment(b, "throttle") }
+
+// BenchmarkBarrier regenerates the Algorithm 2 barrier-cost experiment.
+func BenchmarkBarrier(b *testing.B) { runExperiment(b, "barrier") }
+
+// BenchmarkCache_HotObject regenerates the caching-service extension
+// experiment (paper future work).
+func BenchmarkCache_HotObject(b *testing.B) { runExperiment(b, "cache") }
+
+// BenchmarkProvision_Deployment regenerates the provisioning-timings
+// extension experiment (paper future work).
+func BenchmarkProvision_Deployment(b *testing.B) { runExperiment(b, "provision") }
+
+// BenchmarkNetModel_CrossCheck regenerates the DES-vs-fluid-model
+// cross-check.
+func BenchmarkNetModel_CrossCheck(b *testing.B) { runExperiment(b, "netmodel") }
+
+// BenchmarkAblation regenerates the model ablations.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }

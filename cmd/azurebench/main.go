@@ -1,0 +1,129 @@
+// Command azurebench regenerates the paper's tables and figures on the
+// simulated Azure cloud.
+//
+// Usage:
+//
+//	azurebench -experiment all            # every table/figure, paper scale
+//	azurebench -experiment fig4,fig6      # a subset
+//	azurebench -quick                     # ~1/10-scale smoke run
+//	azurebench -list                      # enumerate experiments
+//	azurebench -experiment fig8 -csv      # additionally emit CSV blocks
+//	azurebench -workers 1,8,64            # override the worker sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"azurebench/internal/core"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id(s), comma separated, or 'all'")
+		quick      = flag.Bool("quick", false, "run the reduced-scale configuration")
+		listOnly   = flag.Bool("list", false, "list experiments and exit")
+		csv        = flag.Bool("csv", false, "also print CSV data blocks")
+		seed       = flag.Int64("seed", 0, "override simulation seed (0 = default)")
+		workers    = flag.String("workers", "", "override worker sweep, e.g. 1,8,64")
+		traceOps   = flag.Bool("trace", false, "print a per-operation trace summary after each experiment")
+		outDir     = flag.String("o", "", "also write per-experiment .txt and .csv files into this directory")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	if *quick {
+		cfg = core.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.TraceOps = *traceOps
+	if *workers != "" {
+		sweep, err := parseInts(*workers)
+		if err != nil {
+			fatalf("bad -workers: %v", err)
+		}
+		cfg.Workers = sweep
+	}
+	suite := core.NewSuite(cfg)
+
+	ids := strings.Split(*experiment, ",")
+	if *experiment == "all" {
+		ids = nil
+		for _, e := range core.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		exp, ok := core.Lookup(id)
+		if !ok {
+			fatalf("unknown experiment %q (try -list)", id)
+		}
+		rep := exp.Run(suite)
+		fmt.Println(rep.Render())
+		if *outDir != "" {
+			if err := writeReport(*outDir, rep); err != nil {
+				fatalf("writing %s report: %v", id, err)
+			}
+		}
+		if log := suite.TraceLog(); log != nil {
+			fmt.Printf("--- operation trace: %s ---\n%s\n", id, log.Summary())
+			log.Reset()
+		}
+		if *csv {
+			for _, fig := range rep.Figures {
+				fmt.Printf("--- csv: %s ---\n%s\n", fig.Title, fig.CSV())
+			}
+		}
+	}
+}
+
+// writeReport writes the rendered report and one CSV per figure.
+func writeReport(dir string, rep *core.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, rep.ID+".txt"), []byte(rep.Render()), 0o644); err != nil {
+		return err
+	}
+	for i, fig := range rep.Figures {
+		name := fmt.Sprintf("%s-%d.csv", rep.ID, i+1)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(fig.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("worker count %d < 1", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "azurebench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 8,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 8, 64}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseIntsErrors(t *testing.T) {
+	for _, bad := range []string{"", "x", "1,,2", "0", "-3", "1,x"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}

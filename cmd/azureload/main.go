@@ -1,0 +1,217 @@
+// Command azureload drives a live storage emulator (cmd/azurestore, or
+// any endpoint speaking its REST dialect) with YCSB-style workloads and
+// reports wall-clock throughput and latency percentiles — the live-mode
+// counterpart of the simulated benchmarks in cmd/azurebench.
+//
+//	azurestore &                              # terminal 1
+//	azureload -endpoint http://127.0.0.1:10000 \
+//	          -service table -workload b -records 1000 -ops 5000 -c 8
+//
+// Services: table (YCSB CRUD over entities), queue (put/get/delete
+// cycles), blob (upload/download cycles).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"os"
+	"sync"
+	"time"
+
+	"azurebench/internal/metrics"
+	"azurebench/internal/payload"
+	"azurebench/internal/sdk"
+	"azurebench/internal/sim"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/tablestore"
+	"azurebench/internal/workload"
+)
+
+func main() {
+	var (
+		endpoint    = flag.String("endpoint", "http://127.0.0.1:10000", "emulator endpoint")
+		service     = flag.String("service", "table", "table | queue | blob")
+		mixName     = flag.String("workload", "a", "YCSB workload a-f (table service)")
+		records     = flag.Int("records", 1000, "records to preload")
+		ops         = flag.Int("ops", 5000, "operations to run")
+		concurrency = flag.Int("c", 8, "concurrent client goroutines")
+		size        = flag.Int("size", 1024, "record/message/blob size in bytes")
+		seed        = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	client := sdk.New(*endpoint, nil, sdk.DefaultRetryPolicy())
+	var run func() (metrics.Dist, error)
+	switch *service {
+	case "table":
+		mix, err := workload.MixByName(*mixName)
+		if err != nil {
+			fatal(err)
+		}
+		run = func() (metrics.Dist, error) {
+			return runTable(client, mix, *records, *ops, *concurrency, int64(*size), *seed)
+		}
+	case "queue":
+		run = func() (metrics.Dist, error) {
+			return runQueue(client, *ops, *concurrency, int64(*size), *seed)
+		}
+	case "blob":
+		run = func() (metrics.Dist, error) {
+			return runBlob(client, *ops, *concurrency, int64(*size), *seed)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -service %q", *service))
+	}
+
+	start := time.Now()
+	dist, err := run()
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("service=%s ops=%d concurrency=%d size=%dB\n", *service, dist.Count(), *concurrency, *size)
+	fmt.Printf("elapsed=%v throughput=%.0f ops/s\n", elapsed.Round(time.Millisecond),
+		float64(dist.Count())/elapsed.Seconds())
+	fmt.Printf("latency: %s\n", dist.Summary())
+}
+
+// runTable preloads records then executes the mix.
+func runTable(client *sdk.Client, mix workload.Mix, records, ops, concurrency int, size, seed int64) (metrics.Dist, error) {
+	tc := client.Table()
+	const table = "usertable"
+	if err := tc.Create(table); err != nil && !storecommon.IsConflict(err) {
+		return metrics.Dist{}, err
+	}
+	for i := 0; i < records; i++ {
+		if _, err := tc.Insert(table, entityFor(uint64(seed), i, size)); err != nil && !storecommon.IsConflict(err) {
+			return metrics.Dist{}, fmt.Errorf("preload record %d: %w", i, err)
+		}
+	}
+	nextInsert := records
+	var mu sync.Mutex // guards nextInsert
+	return fanOut(ops, concurrency, func(worker, op int) error {
+		r := sim.NewRand(seed + int64(worker)*1_000_003 + int64(op))
+		chooser := workload.NewZipf(r, 0.99)
+		switch mix.Pick(r) {
+		case workload.OpRead:
+			_, err := tc.Get(table, "load", workload.Key(chooser.Next(records)))
+			return err
+		case workload.OpUpdate:
+			_, err := tc.Replace(table, entityFor(uint64(seed)+1, chooser.Next(records), size), storecommon.ETagAny)
+			return err
+		case workload.OpInsert:
+			mu.Lock()
+			i := nextInsert
+			nextInsert++
+			mu.Unlock()
+			_, err := tc.Insert(table, entityFor(uint64(seed), i, size))
+			return err
+		case workload.OpScan:
+			_, err := tc.Query(table, "", 10, tablestore.Continuation{})
+			return err
+		default: // read-modify-write
+			e, err := tc.Get(table, "load", workload.Key(chooser.Next(records)))
+			if err != nil {
+				return err
+			}
+			e.Props["Field0"] = tablestore.Binary(payload.Synthetic(uint64(op), size))
+			_, err = tc.Replace(table, e, storecommon.ETagAny)
+			return err
+		}
+	})
+}
+
+func entityFor(seed uint64, i int, size int64) *tablestore.Entity {
+	return &tablestore.Entity{
+		PartitionKey: "load",
+		RowKey:       workload.Key(i),
+		Props: map[string]tablestore.Value{
+			"Field0": tablestore.Binary(workload.Record(seed, i, size)),
+		},
+	}
+}
+
+func runQueue(client *sdk.Client, ops, concurrency int, size, seed int64) (metrics.Dist, error) {
+	qc := client.Queue()
+	const queue = "loadqueue"
+	if err := qc.Create(queue); err != nil && !storecommon.IsConflict(err) {
+		return metrics.Dist{}, err
+	}
+	body := payload.Synthetic(uint64(seed), size).Materialize()
+	return fanOut(ops, concurrency, func(worker, op int) error {
+		if err := qc.Put(queue, body, 0); err != nil {
+			return err
+		}
+		msgs, err := qc.Get(queue, 1, time.Minute)
+		if err != nil {
+			return err
+		}
+		if len(msgs) == 1 {
+			return qc.DeleteMessage(queue, msgs[0].ID, msgs[0].PopReceipt)
+		}
+		return nil
+	})
+}
+
+func runBlob(client *sdk.Client, ops, concurrency int, size, seed int64) (metrics.Dist, error) {
+	bc := client.Blob()
+	const container = "loadblobs"
+	if err := bc.CreateContainer(container); err != nil && !storecommon.IsConflict(err) {
+		return metrics.Dist{}, err
+	}
+	return fanOut(ops, concurrency, func(worker, op int) error {
+		name := fmt.Sprintf("blob-%d-%d", worker, op)
+		data := payload.Synthetic(uint64(seed)+uint64(op), size).Materialize()
+		if err := bc.Upload(container, name, data); err != nil {
+			return err
+		}
+		got, err := bc.Download(container, name)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(data) {
+			return fmt.Errorf("blob %s: read %d bytes, wrote %d", name, len(got), len(data))
+		}
+		return bc.Delete(container, name)
+	})
+}
+
+// fanOut spreads ops across concurrency goroutines, timing each op.
+func fanOut(ops, concurrency int, op func(worker, op int) error) (metrics.Dist, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	dists := make([]metrics.Dist, concurrency)
+	errs := make([]error, concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < ops; i += concurrency {
+				t0 := time.Now()
+				if err := op(w, i); err != nil {
+					errs[w] = fmt.Errorf("worker %d op %d: %w", w, i, err)
+					return
+				}
+				dists[w].Add(time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	var merged metrics.Dist
+	for w := range dists {
+		if errs[w] != nil {
+			return merged, errs[w]
+		}
+		merged.Merge(&dists[w])
+	}
+	return merged, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "azureload:", err)
+	os.Exit(1)
+}

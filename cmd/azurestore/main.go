@@ -1,0 +1,36 @@
+// Command azurestore serves the Azure storage emulator over HTTP (the
+// reproduction's Azurite): blob, queue and table services on one listener
+// under /blob, /queue and /table. With -throttle it enforces the
+// documented scalability targets (500 ops/s per queue and table
+// partition, 5 000 ops/s per account) by answering 503 ServerBusy, so
+// clients can exercise the paper's back-off-and-retry discipline against
+// real sockets.
+//
+//	azurestore -addr 127.0.0.1:10000 -throttle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"azurebench/internal/rest"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:10000", "listen address")
+	throttle := flag.Bool("throttle", false, "enforce scalability-target throttling")
+	cache := flag.Bool("cache", false, "enable the caching service (/cache routes)")
+	flag.Parse()
+
+	srv := rest.NewServer(rest.Options{Throttle: *throttle, Cache: *cache})
+	fmt.Printf("azurestore: serving blob/queue/table storage on http://%s (throttle=%v cache=%v)\n", *addr, *throttle, *cache)
+	fmt.Println("  blob:  PUT/GET  /blob/{container}/{blob}")
+	fmt.Println("  queue: POST/GET /queue/{name}/messages")
+	fmt.Println("  table: POST/GET /table/{name}")
+	if *cache {
+		fmt.Println("  cache: PUT/GET  /cache/{name}/{key}")
+	}
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

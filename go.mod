@@ -1,0 +1,3 @@
+module azurebench
+
+go 1.22

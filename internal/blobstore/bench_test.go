@@ -1,0 +1,90 @@
+package blobstore
+
+import (
+	"fmt"
+	"testing"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/vclock"
+)
+
+func BenchmarkUploadBlockBlob1MB(b *testing.B) {
+	s := New(vclock.Real{})
+	if err := s.CreateContainer("bench"); err != nil {
+		b.Fatal(err)
+	}
+	data := payload.Synthetic(1, 1<<20)
+	b.ReportAllocs()
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.UploadBlockBlob("bench", "b", data, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutBlockAndCommit(b *testing.B) {
+	s := New(vclock.Real{})
+	if err := s.CreateContainer("bench"); err != nil {
+		b.Fatal(err)
+	}
+	data := payload.Synthetic(1, 1<<20)
+	refs := make([]BlockRef, 16)
+	for i := range refs {
+		refs[i] = BlockRef{ID: fmt.Sprintf("b%02d", i), Source: Latest}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range refs {
+			if err := s.PutBlock("bench", "blob", r.ID, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.PutBlockList("bench", "blob", refs, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageWriteRead(b *testing.B) {
+	s := New(vclock.Real{})
+	if err := s.CreateContainer("bench"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.CreatePageBlob("bench", "pb", 64<<20); err != nil {
+		b.Fatal(err)
+	}
+	data := payload.Synthetic(1, 1<<20)
+	b.ReportAllocs()
+	b.SetBytes(2 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%64) << 20
+		if err := s.PutPages("bench", "pb", off, data, ""); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.GetPage("bench", "pb", off, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDownloadWholeBlob(b *testing.B) {
+	s := New(vclock.Real{})
+	if err := s.CreateContainer("bench"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.UploadBlockBlob("bench", "b", payload.Synthetic(1, 16<<20), ""); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(16 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Download("bench", "b"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

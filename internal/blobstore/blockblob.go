@@ -1,0 +1,183 @@
+package blobstore
+
+import (
+	"azurebench/internal/payload"
+	"azurebench/internal/storecommon"
+)
+
+// BlockSource selects where PutBlockList looks for each block id.
+type BlockSource int
+
+// Block list sources, matching the REST API's Committed/Uncommitted/Latest.
+const (
+	// Latest prefers an uncommitted block with the id and falls back to
+	// the committed one.
+	Latest BlockSource = iota
+	// Committed looks only at the committed block list.
+	Committed
+	// Uncommitted looks only at staged blocks.
+	Uncommitted
+)
+
+// BlockRef names one entry of a block list.
+type BlockRef struct {
+	ID     string
+	Source BlockSource
+}
+
+// BlockInfo describes a block in a block list.
+type BlockInfo struct {
+	ID   string
+	Size int64
+}
+
+// UploadBlockBlob uploads a block blob in a single shot (allowed up to
+// 64 MB), replacing any existing content. Staged uncommitted blocks are
+// discarded, matching the service behaviour.
+func (s *Store) UploadBlockBlob(containerName, blobName string, data payload.Payload, leaseID string) (Props, error) {
+	if data.Len() > storecommon.MaxSingleShotBlob {
+		return Props{}, storecommon.Errf(storecommon.CodeRequestBodyTooLarge, 413,
+			"single-shot upload of %d bytes exceeds %d", data.Len(), storecommon.MaxSingleShotBlob)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.getOrCreateBlob(containerName, blobName, BlockBlob)
+	if err != nil {
+		return Props{}, err
+	}
+	if err := b.lease.checkWrite(leaseID, s.clock.Now()); err != nil {
+		return Props{}, err
+	}
+	b.committed = []committedBlock{{id: "", p: data, off: 0}}
+	if data.Len() == 0 {
+		b.committed = nil
+	}
+	b.blockSize = data.Len()
+	b.uncommitted = nil
+	b.stageOrder = nil
+	s.touch(b)
+	return s.propsLocked(b), nil
+}
+
+// PutBlock stages an uncommitted block. The block does not become part of
+// the blob's content until a PutBlockList commits it.
+func (s *Store) PutBlock(containerName, blobName, blockID string, data payload.Payload) error {
+	if blockID == "" || len(blockID) > 64 {
+		return storecommon.Errf(storecommon.CodeInvalidBlockID, 400, "block id must be 1-64 bytes")
+	}
+	if data.Len() == 0 {
+		return storecommon.Errf(storecommon.CodeInvalidInput, 400, "block body must not be empty")
+	}
+	if data.Len() > storecommon.MaxBlockSize {
+		return storecommon.Errf(storecommon.CodeRequestBodyTooLarge, 413,
+			"block of %d bytes exceeds %d", data.Len(), storecommon.MaxBlockSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.getOrCreateBlob(containerName, blobName, BlockBlob)
+	if err != nil {
+		return err
+	}
+	if b.uncommitted == nil {
+		b.uncommitted = map[string]payload.Payload{}
+	}
+	if _, dup := b.uncommitted[blockID]; !dup {
+		b.stageOrder = append(b.stageOrder, blockID)
+	}
+	b.uncommitted[blockID] = data
+	// PutBlock does not update ETag/LastModified on the service either.
+	return nil
+}
+
+// PutBlockList commits a block list: the blob's content becomes the
+// concatenation of the referenced blocks in order. All staged blocks are
+// discarded afterwards (committed or not), matching the service.
+func (s *Store) PutBlockList(containerName, blobName string, refs []BlockRef, leaseID string) (Props, error) {
+	if len(refs) > storecommon.MaxBlocksPerBlob {
+		return Props{}, storecommon.Errf(storecommon.CodeBlockCountExceedsLimit, 409,
+			"block list of %d entries exceeds %d", len(refs), storecommon.MaxBlocksPerBlob)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.getOrCreateBlob(containerName, blobName, BlockBlob)
+	if err != nil {
+		return Props{}, err
+	}
+	if err := b.lease.checkWrite(leaseID, s.clock.Now()); err != nil {
+		return Props{}, err
+	}
+	oldCommitted := make(map[string]payload.Payload, len(b.committed))
+	for _, cb := range b.committed {
+		oldCommitted[cb.id] = cb.p
+	}
+	newList := make([]committedBlock, 0, len(refs))
+	var off int64
+	for _, ref := range refs {
+		var p payload.Payload
+		var ok bool
+		switch ref.Source {
+		case Committed:
+			p, ok = oldCommitted[ref.ID]
+		case Uncommitted:
+			p, ok = b.uncommitted[ref.ID]
+		case Latest:
+			if p, ok = b.uncommitted[ref.ID]; !ok {
+				p, ok = oldCommitted[ref.ID]
+			}
+		default:
+			return Props{}, storecommon.Errf(storecommon.CodeInvalidInput, 400, "bad block source %d", ref.Source)
+		}
+		if !ok {
+			return Props{}, storecommon.Errf(storecommon.CodeInvalidBlockList, 400,
+				"block %q not found in %v list", ref.ID, ref.Source)
+		}
+		newList = append(newList, committedBlock{id: ref.ID, p: p, off: off})
+		off += p.Len()
+	}
+	b.committed = newList
+	b.blockSize = off
+	b.uncommitted = nil
+	b.stageOrder = nil
+	s.touch(b)
+	return s.propsLocked(b), nil
+}
+
+// GetBlockList returns the committed and uncommitted block lists.
+func (s *Store) GetBlockList(containerName, blobName string) (committed, uncommitted []BlockInfo, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, err := s.findBlob(containerName, blobName)
+	if err != nil {
+		return nil, nil, err
+	}
+	if b.kind != BlockBlob {
+		return nil, nil, storecommon.Errf(storecommon.CodeInvalidInput, 409, "blob %q is not a block blob", blobName)
+	}
+	for _, cb := range b.committed {
+		committed = append(committed, BlockInfo{ID: cb.id, Size: cb.p.Len()})
+	}
+	for _, id := range b.stageOrder {
+		uncommitted = append(uncommitted, BlockInfo{ID: id, Size: b.uncommitted[id].Len()})
+	}
+	return committed, uncommitted, nil
+}
+
+// GetBlock returns the content of the i-th committed block (the paper's
+// per-block sequential download; the service equivalent is a ranged GET
+// using offsets from the block list).
+func (s *Store) GetBlock(containerName, blobName string, i int) (payload.Payload, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, err := s.findBlob(containerName, blobName)
+	if err != nil {
+		return payload.Payload{}, err
+	}
+	if b.kind != BlockBlob {
+		return payload.Payload{}, storecommon.Errf(storecommon.CodeInvalidInput, 409, "blob %q is not a block blob", blobName)
+	}
+	if i < 0 || i >= len(b.committed) {
+		return payload.Payload{}, storecommon.Errf(storecommon.CodeOutOfRangeInput, 416,
+			"block index %d outside committed list of %d", i, len(b.committed))
+	}
+	return b.committed[i].p, nil
+}

@@ -1,0 +1,178 @@
+package blobstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/vclock"
+)
+
+// TestConcurrentBlockStaging exercises live-mode thread safety: many
+// goroutines stage blocks into one blob, then a single commit assembles
+// them all. Run with -race.
+func TestConcurrentBlockStaging(t *testing.T) {
+	s := New(vclock.Real{})
+	if err := s.CreateContainer("bench"); err != nil {
+		t.Fatal(err)
+	}
+	const workers, blocksPerWorker = 16, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < blocksPerWorker; i++ {
+				id := fmt.Sprintf("w%02d-b%02d", w, i)
+				if err := s.PutBlock("bench", "shared", id, payload.Synthetic(uint64(w), 512)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	_, uncommitted, err := s.GetBlockList("bench", "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uncommitted) != workers*blocksPerWorker {
+		t.Fatalf("staged %d blocks, want %d", len(uncommitted), workers*blocksPerWorker)
+	}
+	var refs []BlockRef
+	for _, b := range uncommitted {
+		refs = append(refs, BlockRef{ID: b.ID, Source: Uncommitted})
+	}
+	props, err := s.PutBlockList("bench", "shared", refs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if props.Size != int64(workers*blocksPerWorker*512) {
+		t.Fatalf("committed size = %d", props.Size)
+	}
+}
+
+// TestConcurrentPageWritersDisjointRanges has goroutines writing disjoint
+// page ranges; all writes must land.
+func TestConcurrentPageWritersDisjointRanges(t *testing.T) {
+	s := New(vclock.Real{})
+	if err := s.CreateContainer("bench"); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const chunk = 4096
+	if _, err := s.CreatePageBlob("bench", "pb", workers*chunk); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data := payload.Synthetic(uint64(w), chunk)
+			if err := s.PutPages("bench", "pb", int64(w*chunk), data, ""); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		got, err := s.GetPage("bench", "pb", int64(w*chunk), chunk)
+		if err != nil || !payload.Equal(got, payload.Synthetic(uint64(w), chunk)) {
+			t.Fatalf("worker %d range corrupted (err=%v)", w, err)
+		}
+	}
+}
+
+// TestConcurrentReadersAndWriters mixes downloads with uploads; readers
+// must always observe a complete version, never a torn one.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := New(vclock.Real{})
+	if err := s.CreateContainer("bench"); err != nil {
+		t.Fatal(err)
+	}
+	versions := make([]payload.Payload, 8)
+	sums := map[uint64]bool{}
+	for i := range versions {
+		versions[i] = payload.Synthetic(uint64(i), 10_000)
+		sums[versions[i].Checksum()] = true
+	}
+	if _, err := s.UploadBlockBlob("bench", "b", versions[0], ""); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i < 200; i++ {
+			if _, err := s.UploadBlockBlob("bench", "b", versions[i%len(versions)], ""); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, _, err := s.Download("bench", "b")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !sums[got.Checksum()] {
+					t.Error("torn read: downloaded content matches no version")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentLeaseAcquire: exactly one of many racing acquirers wins.
+func TestConcurrentLeaseAcquire(t *testing.T) {
+	s := New(vclock.Real{})
+	if err := s.CreateContainer("bench"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.UploadBlockBlob("bench", "b", payload.String("x"), ""); err != nil {
+		t.Fatal(err)
+	}
+	const racers = 16
+	var wg sync.WaitGroup
+	wins := make(chan string, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id, err := s.AcquireLease("bench", "b", InfiniteLease)
+			if err == nil {
+				wins <- id
+			} else if storecommon.CodeOf(err) != storecommon.CodeLeaseAlreadyPresent {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	var ids []string
+	for id := range wins {
+		ids = append(ids, id)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("%d racers acquired the lease, want exactly 1", len(ids))
+	}
+}

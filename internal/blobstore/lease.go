@@ -1,0 +1,146 @@
+package blobstore
+
+import (
+	"fmt"
+	"time"
+
+	"azurebench/internal/storecommon"
+)
+
+// LeaseStatus reports whether a blob is currently leased.
+type LeaseStatus int
+
+// Lease statuses.
+const (
+	LeaseUnlocked LeaseStatus = iota
+	LeaseLocked
+)
+
+// String returns "Unlocked" or "Locked".
+func (s LeaseStatus) String() string {
+	if s == LeaseLocked {
+		return "Locked"
+	}
+	return "Unlocked"
+}
+
+// InfiniteLease requests a lease that never expires.
+const InfiniteLease = time.Duration(-1)
+
+// leaseState tracks the exclusive-write lease of a blob.
+type leaseState struct {
+	id       string
+	expires  time.Time // zero => infinite while id != ""
+	infinite bool
+	counter  uint64
+}
+
+func (l *leaseState) active(now time.Time) bool {
+	if l.id == "" {
+		return false
+	}
+	return l.infinite || now.Before(l.expires)
+}
+
+func (l *leaseState) status(now time.Time) LeaseStatus {
+	if l.active(now) {
+		return LeaseLocked
+	}
+	return LeaseUnlocked
+}
+
+// checkWrite enforces the lease protocol for a mutating operation carrying
+// leaseID ("" when the caller presents no lease).
+func (l *leaseState) checkWrite(leaseID string, now time.Time) error {
+	if !l.active(now) {
+		if leaseID != "" {
+			return storecommon.Errf(storecommon.CodeLeaseNotPresent, 412, "no active lease on blob")
+		}
+		return nil
+	}
+	if leaseID == "" {
+		return storecommon.Errf(storecommon.CodeLeaseIDMissing, 412, "blob is leased; operation requires the lease id")
+	}
+	if leaseID != l.id {
+		return storecommon.Errf(storecommon.CodeLeaseIDMismatch, 412, "lease id mismatch")
+	}
+	return nil
+}
+
+// AcquireLease acquires an exclusive write lease on the blob for the given
+// duration (15s–60s, or InfiniteLease). It returns the lease id.
+func (s *Store) AcquireLease(containerName, blobName string, d time.Duration) (string, error) {
+	if d != InfiniteLease && (d < 15*time.Second || d > 60*time.Second) {
+		return "", storecommon.Errf(storecommon.CodeInvalidInput, 400,
+			"lease duration must be 15-60s or infinite, got %v", d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.findBlob(containerName, blobName)
+	if err != nil {
+		return "", err
+	}
+	now := s.clock.Now()
+	if b.lease.active(now) {
+		return "", storecommon.Errf(storecommon.CodeLeaseAlreadyPresent, 409, "blob already leased")
+	}
+	b.lease.counter++
+	b.lease.id = fmt.Sprintf("lease-%s-%d", blobName, b.lease.counter)
+	b.lease.infinite = d == InfiniteLease
+	if !b.lease.infinite {
+		b.lease.expires = now.Add(d)
+	}
+	return b.lease.id, nil
+}
+
+// RenewLease extends an active (or recently expired but un-reacquired)
+// lease by d.
+func (s *Store) RenewLease(containerName, blobName, leaseID string, d time.Duration) error {
+	if d != InfiniteLease && (d < 15*time.Second || d > 60*time.Second) {
+		return storecommon.Errf(storecommon.CodeInvalidInput, 400, "bad lease duration %v", d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.findBlob(containerName, blobName)
+	if err != nil {
+		return err
+	}
+	if b.lease.id == "" || b.lease.id != leaseID {
+		return storecommon.Errf(storecommon.CodeLeaseIDMismatch, 409, "lease id mismatch on renew")
+	}
+	b.lease.infinite = d == InfiniteLease
+	if !b.lease.infinite {
+		b.lease.expires = s.clock.Now().Add(d)
+	}
+	return nil
+}
+
+// ReleaseLease ends the lease immediately.
+func (s *Store) ReleaseLease(containerName, blobName, leaseID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.findBlob(containerName, blobName)
+	if err != nil {
+		return err
+	}
+	if b.lease.id == "" || b.lease.id != leaseID {
+		return storecommon.Errf(storecommon.CodeLeaseIDMismatch, 409, "lease id mismatch on release")
+	}
+	b.lease = leaseState{counter: b.lease.counter}
+	return nil
+}
+
+// BreakLease forcibly ends any active lease without needing the id.
+func (s *Store) BreakLease(containerName, blobName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.findBlob(containerName, blobName)
+	if err != nil {
+		return err
+	}
+	if !b.lease.active(s.clock.Now()) {
+		return storecommon.Errf(storecommon.CodeLeaseNotPresent, 409, "no lease to break")
+	}
+	b.lease = leaseState{counter: b.lease.counter}
+	return nil
+}

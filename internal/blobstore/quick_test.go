@@ -1,0 +1,153 @@
+package blobstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/vclock"
+)
+
+// TestQuickBlockListSemantics drives the block blob with random
+// stage/commit sequences and checks the two-phase semantics against a
+// reference: content equals the concatenation of the last committed list;
+// staging never changes content; commit clears the staging area.
+func TestQuickBlockListSemantics(t *testing.T) {
+	type op struct {
+		Kind uint8 // 0 stage, 1 commit-staged, 2 recommit-committed
+		ID   uint8
+		Seed uint8
+	}
+	f := func(ops []op) bool {
+		s := New(&vclock.Manual{})
+		if err := s.CreateContainer("bench"); err != nil {
+			return false
+		}
+		staged := map[string]payload.Payload{}
+		var stagedOrder []string
+		var committed []payload.Payload
+		var committedIDs []string
+
+		content := func() payload.Payload { return payload.Concat(committed...) }
+
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0: // stage a block
+				id := fmt.Sprintf("b%d", o.ID%6)
+				data := payload.Synthetic(uint64(o.Seed), int64(o.Seed%64)+1)
+				if err := s.PutBlock("bench", "b", id, data); err != nil {
+					return false
+				}
+				if _, dup := staged[id]; !dup {
+					stagedOrder = append(stagedOrder, id)
+				}
+				staged[id] = data
+				// Content unchanged by staging.
+				got, _, err := s.Download("bench", "b")
+				if err != nil || !payload.Equal(got, content()) {
+					return false
+				}
+			case 1: // commit everything currently staged, in arrival order
+				if len(staged) == 0 {
+					continue
+				}
+				var refs []BlockRef
+				var newContent []payload.Payload
+				var newIDs []string
+				for _, id := range stagedOrder {
+					refs = append(refs, BlockRef{ID: id, Source: Uncommitted})
+					newContent = append(newContent, staged[id])
+					newIDs = append(newIDs, id)
+				}
+				if _, err := s.PutBlockList("bench", "b", refs, ""); err != nil {
+					return false
+				}
+				committed, committedIDs = newContent, newIDs
+				staged = map[string]payload.Payload{}
+				stagedOrder = nil
+			case 2: // recommit the committed list reversed (Committed source)
+				if len(committedIDs) == 0 {
+					continue
+				}
+				var refs []BlockRef
+				var newContent []payload.Payload
+				var newIDs []string
+				for i := len(committedIDs) - 1; i >= 0; i-- {
+					refs = append(refs, BlockRef{ID: committedIDs[i], Source: Committed})
+					newContent = append(newContent, committed[i])
+					newIDs = append(newIDs, committedIDs[i])
+				}
+				if _, err := s.PutBlockList("bench", "b", refs, ""); err != nil {
+					return false
+				}
+				committed, committedIDs = newContent, newIDs
+				// A commit discards any staged blocks.
+				staged = map[string]payload.Payload{}
+				stagedOrder = nil
+			}
+			// Invariants after every step.
+			got, props, err := s.Download("bench", "b")
+			if err != nil || !payload.Equal(got, content()) || props.Size != content().Len() {
+				return false
+			}
+			gotCommitted, gotStaged, err := s.GetBlockList("bench", "b")
+			if err != nil || len(gotCommitted) != len(committedIDs) || len(gotStaged) != len(stagedOrder) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPageBlobRoundTrip: arbitrary aligned writes/clears round-trip
+// against a flat reference buffer.
+func TestQuickPageBlobRoundTrip(t *testing.T) {
+	const pages = 16
+	const size = pages * 512
+	type op struct {
+		Clear bool
+		Page  uint8
+		Count uint8
+		Seed  uint8
+	}
+	f := func(ops []op) bool {
+		s := New(&vclock.Manual{})
+		if err := s.CreateContainer("bench"); err != nil {
+			return false
+		}
+		if _, err := s.CreatePageBlob("bench", "pb", size); err != nil {
+			return false
+		}
+		ref := make([]byte, size)
+		for _, o := range ops {
+			start := int64(o.Page%pages) * 512
+			n := (int64(o.Count)%int64(pages-int(o.Page%pages)) + 1) * 512
+			if o.Clear {
+				if err := s.ClearPages("bench", "pb", start, n, ""); err != nil {
+					return false
+				}
+				for i := start; i < start+n; i++ {
+					ref[i] = 0
+				}
+			} else {
+				data := payload.Synthetic(uint64(o.Seed), n)
+				if err := s.PutPages("bench", "pb", start, data, ""); err != nil {
+					return false
+				}
+				copy(ref[start:start+n], data.Materialize())
+			}
+			got, err := s.GetPage("bench", "pb", 0, size)
+			if err != nil || !payload.Equal(got, payload.Bytes(ref)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package cachestore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/vclock"
+)
+
+func newCluster() (*Cluster, *vclock.Manual) {
+	clk := &vclock.Manual{}
+	return New(clk, 4, 1<<20), clk
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, _ := newCluster()
+	v := payload.String("hello")
+	ver, err := c.Put("default", "k", v, 0)
+	if err != nil || ver == 0 {
+		t.Fatalf("put = %d, %v", ver, err)
+	}
+	item, ok, err := c.Get("default", "k")
+	if err != nil || !ok {
+		t.Fatalf("get = %v, %v", ok, err)
+	}
+	if !payload.Equal(item.Value, v) || item.Version != ver {
+		t.Fatalf("item = %+v", item)
+	}
+}
+
+func TestMissOnAbsentKey(t *testing.T) {
+	c, _ := newCluster()
+	if _, ok, err := c.Get("default", "nope"); err != nil || ok {
+		t.Fatalf("get absent = %v, %v", ok, err)
+	}
+	st := c.ClusterStats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNamedCaches(t *testing.T) {
+	c, _ := newCluster()
+	if _, err := c.Put("mycache", "k", payload.String("x"), 0); !storecommon.IsNotFound(err) {
+		t.Fatalf("put to unknown cache = %v", err)
+	}
+	c.CreateCache("mycache")
+	if _, err := c.Put("mycache", "k", payload.String("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Same key in different caches is independent.
+	if _, err := c.Put("default", "k", payload.String("y"), 0); err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := c.Get("mycache", "k")
+	b, _, _ := c.Get("default", "k")
+	if string(a.Value.Materialize()) != "x" || string(b.Value.Materialize()) != "y" {
+		t.Fatal("caches not independent")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c, clk := newCluster()
+	if _, err := c.Put("default", "k", payload.String("x"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(59 * time.Second)
+	if _, ok, _ := c.Get("default", "k"); !ok {
+		t.Fatal("expired too early")
+	}
+	clk.Advance(2 * time.Second)
+	if _, ok, _ := c.Get("default", "k"); ok {
+		t.Fatal("item survived its TTL")
+	}
+}
+
+func TestDefaultTTL(t *testing.T) {
+	c, clk := newCluster()
+	if _, err := c.Put("default", "k", payload.String("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(DefaultTTL + time.Second)
+	if _, ok, _ := c.Get("default", "k"); ok {
+		t.Fatal("item survived the default TTL")
+	}
+}
+
+func TestLRUEvictionUnderPressure(t *testing.T) {
+	clk := &vclock.Manual{}
+	c := New(clk, 1, 10*1024) // one node, 10 KB
+	for i := 0; i < 20; i++ {
+		if _, err := c.Put("default", fmt.Sprintf("k%02d", i), payload.Zero(1024), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.ClusterStats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under pressure")
+	}
+	if st.Bytes > 10*1024 {
+		t.Fatalf("node over capacity: %d bytes", st.Bytes)
+	}
+	// The most recent keys survive; the oldest are gone.
+	if _, ok, _ := c.Get("default", "k19"); !ok {
+		t.Fatal("most recent key evicted")
+	}
+	if _, ok, _ := c.Get("default", "k00"); ok {
+		t.Fatal("oldest key survived")
+	}
+}
+
+func TestLRURefreshOnGet(t *testing.T) {
+	clk := &vclock.Manual{}
+	c := New(clk, 1, 3*1024)
+	for _, k := range []string{"a", "b", "c"} {
+		if _, err := c.Put("default", k, payload.Zero(1024), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" becomes LRU, then insert "d".
+	if _, ok, _ := c.Get("default", "a"); !ok {
+		t.Fatal("get a failed")
+	}
+	if _, err := c.Put("default", "d", payload.Zero(1024), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get("default", "a"); !ok {
+		t.Fatal("recently used key evicted")
+	}
+	if _, ok, _ := c.Get("default", "b"); ok {
+		t.Fatal("LRU key survived")
+	}
+}
+
+func TestOversizedItemRejected(t *testing.T) {
+	c, _ := newCluster()
+	if _, err := c.Put("default", "big", payload.Zero(2<<20), 0); storecommon.CodeOf(err) != storecommon.CodeRequestBodyTooLarge {
+		t.Fatalf("oversized = %v", err)
+	}
+}
+
+func TestVersionedPut(t *testing.T) {
+	c, _ := newCluster()
+	v1, _ := c.Put("default", "k", payload.String("a"), 0)
+	v2, err := c.PutIfVersion("default", "k", payload.String("b"), v1, 0)
+	if err != nil || v2 <= v1 {
+		t.Fatalf("versioned put = %d, %v", v2, err)
+	}
+	if _, err := c.PutIfVersion("default", "k", payload.String("c"), v1, 0); !storecommon.IsPreconditionFailed(err) {
+		t.Fatalf("stale version = %v", err)
+	}
+	if _, err := c.PutIfVersion("default", "absent", payload.String("c"), 1, 0); !storecommon.IsNotFound(err) {
+		t.Fatalf("versioned put on absent = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c, _ := newCluster()
+	if _, err := c.Put("default", "k", payload.String("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Remove("default", "k")
+	if err != nil || !ok {
+		t.Fatalf("remove = %v, %v", ok, err)
+	}
+	ok, err = c.Remove("default", "k")
+	if err != nil || ok {
+		t.Fatalf("double remove = %v, %v", ok, err)
+	}
+}
+
+func TestPessimisticLocking(t *testing.T) {
+	c, clk := newCluster()
+	if _, err := c.Put("default", "k", payload.String("v1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	item, lock, err := c.GetAndLock("default", "k", time.Minute)
+	if err != nil || lock == "" {
+		t.Fatalf("lock = %q, %v", lock, err)
+	}
+	if string(item.Value.Materialize()) != "v1" {
+		t.Fatal("locked read wrong value")
+	}
+	// Second locker blocked; plain Get still allowed (AppFabric semantics).
+	if _, _, err := c.GetAndLock("default", "k", time.Minute); err == nil {
+		t.Fatal("double lock acquired")
+	}
+	if _, ok, _ := c.Get("default", "k"); !ok {
+		t.Fatal("plain get blocked by lock")
+	}
+	// Wrong handle cannot unlock.
+	if _, err := c.PutAndUnlock("default", "k", payload.String("v2"), "bogus", 0); !storecommon.IsPreconditionFailed(err) {
+		t.Fatalf("wrong handle = %v", err)
+	}
+	if _, err := c.PutAndUnlock("default", "k", payload.String("v2"), lock, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Lock released: lockable again.
+	_, lock2, err := c.GetAndLock("default", "k", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lock expires on its own.
+	clk.Advance(2 * time.Minute)
+	if _, _, err := c.GetAndLock("default", "k", time.Minute); err != nil {
+		t.Fatalf("lock after expiry = %v", err)
+	}
+	_ = lock2
+}
+
+func TestUnlockWithoutWrite(t *testing.T) {
+	c, _ := newCluster()
+	if _, err := c.Put("default", "k", payload.String("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, lock, err := c.GetAndLock("default", "k", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unlock("default", "k", lock); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetAndLock("default", "k", time.Minute); err != nil {
+		t.Fatalf("relock after unlock = %v", err)
+	}
+}
+
+func TestKeysSpreadAcrossNodes(t *testing.T) {
+	c, _ := newCluster()
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		seen[c.NodeFor("default", fmt.Sprintf("key-%d", i))] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("keys landed on only %d of 4 nodes", len(seen))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, _ := newCluster()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%10)
+				if _, err := c.Put("default", key, payload.Zero(128), 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := c.Get("default", key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

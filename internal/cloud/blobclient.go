@@ -1,0 +1,252 @@
+package cloud
+
+import (
+	"time"
+
+	"azurebench/internal/blobstore"
+	"azurebench/internal/payload"
+	"azurebench/internal/sim"
+)
+
+// CreateContainer creates a blob container.
+func (cl *Client) CreateContainer(p *sim.Proc, name string) error {
+	// Container metadata lives on its own partition; model it as a fresh
+	// single blob-partition write.
+	rs := cl.cloud.blobReplicas(name, "")
+	return cl.do(p, request{
+		op:      "CreateContainer",
+		service: "blob",
+		up:      reqHeader,
+		server:  rs.primary(),
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Blob.CreateContainer(name)
+		},
+	})
+}
+
+// CreateContainerIfNotExists creates the container when absent.
+func (cl *Client) CreateContainerIfNotExists(p *sim.Proc, name string) (bool, error) {
+	rs := cl.cloud.blobReplicas(name, "")
+	created := false
+	err := cl.do(p, request{
+		op:      "CreateContainerIfNotExists",
+		service: "blob",
+		up:      reqHeader,
+		server:  rs.primary(),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			created, err = cl.cloud.Blob.CreateContainerIfNotExists(name)
+			return cl.cloud.prm.ContainerOpOcc, 0, err
+		},
+	})
+	return created, err
+}
+
+// DeleteContainer removes a container.
+func (cl *Client) DeleteContainer(p *sim.Proc, name string) error {
+	rs := cl.cloud.blobReplicas(name, "")
+	return cl.do(p, request{
+		op:      "DeleteContainer",
+		service: "blob",
+		up:      reqHeader,
+		server:  rs.primary(),
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Blob.DeleteContainer(name)
+		},
+	})
+}
+
+// PutBlock stages an uncommitted block (Algorithm 1's PutBlock).
+func (cl *Client) PutBlock(p *sim.Proc, container, blob, blockID string, data payload.Payload) error {
+	rs := cl.cloud.blobReplicas(container, blob)
+	return cl.do(p, request{
+		op:      "PutBlock",
+		service: "blob",
+		up:      data.Len() + reqHeader,
+		server:  rs.primary(),
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.BlockPutOcc(data.Len()), 0,
+				cl.cloud.Blob.PutBlock(container, blob, blockID, data)
+		},
+	})
+}
+
+// PutBlockList commits a block list (Algorithm 1's PutBlockList).
+func (cl *Client) PutBlockList(p *sim.Proc, container, blob string, refs []blobstore.BlockRef) error {
+	rs := cl.cloud.blobReplicas(container, blob)
+	return cl.do(p, request{
+		op:      "PutBlockList",
+		service: "blob",
+		up:      int64(len(refs))*72 + reqHeader,
+		server:  rs.primary(),
+		apply: func() (time.Duration, int64, error) {
+			_, err := cl.cloud.Blob.PutBlockList(container, blob, refs, "")
+			return cl.cloud.prm.CommitOcc(len(refs)), 0, err
+		},
+	})
+}
+
+// UploadBlockBlob uploads a block blob in a single shot (<= 64 MB).
+func (cl *Client) UploadBlockBlob(p *sim.Proc, container, blob string, data payload.Payload) error {
+	rs := cl.cloud.blobReplicas(container, blob)
+	return cl.do(p, request{
+		op:      "UploadBlockBlob",
+		service: "blob",
+		up:      data.Len() + reqHeader,
+		server:  rs.primary(),
+		apply: func() (time.Duration, int64, error) {
+			_, err := cl.cloud.Blob.UploadBlockBlob(container, blob, data, "")
+			return cl.cloud.prm.BlockPutOcc(data.Len()), 0, err
+		},
+	})
+}
+
+// GetBlock downloads the i-th committed block sequentially (the paper's
+// block-wise download of Figure 5).
+func (cl *Client) GetBlock(p *sim.Proc, container, blob string, i int) (payload.Payload, error) {
+	rs := cl.cloud.blobReplicas(container, blob)
+	var out payload.Payload
+	err := cl.do(p, request{
+		op:      "GetBlock",
+		service: "blob",
+		up:      reqHeader,
+		server:  cl.cloud.readReplica(rs),
+		apply: func() (time.Duration, int64, error) {
+			blk, err := cl.cloud.Blob.GetBlock(container, blob, i)
+			if err != nil {
+				return cl.cloud.prm.BlockReadOverhead, 0, err
+			}
+			out = blk
+			return cl.cloud.prm.BlockGetOcc(blk.Len()), blk.Len(), nil
+		},
+	})
+	return out, err
+}
+
+// CreatePageBlob creates/initialises a page blob of the given size.
+func (cl *Client) CreatePageBlob(p *sim.Proc, container, blob string, size int64) error {
+	rs := cl.cloud.blobReplicas(container, blob)
+	return cl.do(p, request{
+		op:      "CreatePageBlob",
+		service: "blob",
+		up:      reqHeader,
+		server:  rs.primary(),
+		apply: func() (time.Duration, int64, error) {
+			_, err := cl.cloud.Blob.CreatePageBlob(container, blob, size)
+			return cl.cloud.prm.ContainerOpOcc, 0, err
+		},
+	})
+}
+
+// PutPage writes pages at offset off (Algorithm 1's PutPage).
+func (cl *Client) PutPage(p *sim.Proc, container, blob string, off int64, data payload.Payload) error {
+	rs := cl.cloud.blobReplicas(container, blob)
+	return cl.do(p, request{
+		op:      "PutPage",
+		service: "blob",
+		up:      data.Len() + reqHeader,
+		server:  rs.primary(),
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.PagePutOcc(data.Len()), 0,
+				cl.cloud.Blob.PutPages(container, blob, off, data, "")
+		},
+	})
+}
+
+// GetPage reads n bytes at a (random) offset from a page blob (the
+// paper's random page-wise download).
+func (cl *Client) GetPage(p *sim.Proc, container, blob string, off, n int64) (payload.Payload, error) {
+	rs := cl.cloud.blobReplicas(container, blob)
+	var out payload.Payload
+	err := cl.do(p, request{
+		op:      "GetPage",
+		service: "blob",
+		up:      reqHeader,
+		server:  cl.cloud.readReplica(rs),
+		apply: func() (time.Duration, int64, error) {
+			pg, err := cl.cloud.Blob.GetPage(container, blob, off, n)
+			if err != nil {
+				return cl.cloud.prm.PageReadOverhead, 0, err
+			}
+			out = pg
+			return cl.cloud.prm.PageGetOcc(pg.Len()), pg.Len(), nil
+		},
+	})
+	return out, err
+}
+
+// Download fetches a blob's entire content: DownloadText for block blobs,
+// openRead for page blobs, in the paper's terms.
+func (cl *Client) Download(p *sim.Proc, container, blob string) (payload.Payload, error) {
+	rs := cl.cloud.blobReplicas(container, blob)
+	var out payload.Payload
+	err := cl.do(p, request{
+		op:      "Download",
+		service: "blob",
+		up:      reqHeader,
+		server:  cl.cloud.readReplica(rs),
+		apply: func() (time.Duration, int64, error) {
+			data, props, err := cl.cloud.Blob.Download(container, blob)
+			if err != nil {
+				return cl.cloud.prm.BlockDownloadSetup, 0, err
+			}
+			out = data
+			return cl.cloud.prm.DownloadOcc(props.Type == blobstore.PageBlob, data.Len()), data.Len(), nil
+		},
+	})
+	return out, err
+}
+
+// DownloadRange fetches [off, off+n) of a blob.
+func (cl *Client) DownloadRange(p *sim.Proc, container, blob string, off, n int64) (payload.Payload, error) {
+	rs := cl.cloud.blobReplicas(container, blob)
+	var out payload.Payload
+	err := cl.do(p, request{
+		op:      "DownloadRange",
+		service: "blob",
+		up:      reqHeader,
+		server:  cl.cloud.readReplica(rs),
+		apply: func() (time.Duration, int64, error) {
+			data, err := cl.cloud.Blob.DownloadRange(container, blob, off, n)
+			if err != nil {
+				return cl.cloud.prm.BlockReadOverhead, 0, err
+			}
+			out = data
+			return cl.cloud.prm.BlockGetOcc(data.Len()), data.Len(), nil
+		},
+	})
+	return out, err
+}
+
+// DeleteBlob removes a blob.
+func (cl *Client) DeleteBlob(p *sim.Proc, container, blob string) error {
+	rs := cl.cloud.blobReplicas(container, blob)
+	return cl.do(p, request{
+		op:      "DeleteBlob",
+		service: "blob",
+		up:      reqHeader,
+		server:  rs.primary(),
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.DeleteBlobOcc(), 0,
+				cl.cloud.Blob.DeleteBlob(container, blob, "")
+		},
+	})
+}
+
+// BlobProps fetches a blob's properties.
+func (cl *Client) BlobProps(p *sim.Proc, container, blob string) (blobstore.Props, error) {
+	rs := cl.cloud.blobReplicas(container, blob)
+	var props blobstore.Props
+	err := cl.do(p, request{
+		op:      "BlobProps",
+		service: "blob",
+		up:      reqHeader,
+		server:  cl.cloud.readReplica(rs),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			props, err = cl.cloud.Blob.GetProps(container, blob)
+			return cl.cloud.prm.ContainerOpOcc, reqHeader, err
+		},
+	})
+	return props, err
+}

@@ -1,0 +1,97 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"azurebench/internal/model"
+	"azurebench/internal/payload"
+	"azurebench/internal/sim"
+)
+
+func TestCacheClientRoundTrip(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := New(env, model.Default())
+	cl := c.NewClient("vm0", model.Small)
+	env.Go("main", func(p *sim.Proc) {
+		if err := cl.CreateCache(p, "app"); err != nil {
+			t.Error(err)
+			return
+		}
+		v := payload.Synthetic(1, 4096)
+		ver, err := cl.CachePut(p, "app", "config", v, time.Hour)
+		if err != nil || ver == 0 {
+			t.Errorf("put = %d, %v", ver, err)
+			return
+		}
+		item, ok, err := cl.CacheGet(p, "app", "config")
+		if err != nil || !ok || !payload.Equal(item.Value, v) {
+			t.Errorf("get = %v, %v", ok, err)
+			return
+		}
+		// Lock protocol through the cloud client.
+		locked, lock, err := cl.CacheGetAndLock(p, "app", "config", time.Minute)
+		if err != nil || lock == "" || !payload.Equal(locked.Value, v) {
+			t.Errorf("lock = %q, %v", lock, err)
+			return
+		}
+		if _, _, err := cl.CacheGetAndLock(p, "app", "config", time.Minute); err == nil {
+			t.Error("double lock acquired")
+			return
+		}
+		if _, err := cl.CachePutAndUnlock(p, "app", "config", payload.Synthetic(2, 4096), lock, time.Hour); err != nil {
+			t.Error(err)
+			return
+		}
+		existed, err := cl.CacheRemove(p, "app", "config")
+		if err != nil || !existed {
+			t.Errorf("remove = %v, %v", existed, err)
+			return
+		}
+		if _, ok, _ := cl.CacheGet(p, "app", "config"); ok {
+			t.Error("item survived remove")
+		}
+	})
+	env.Run()
+	if env.Now() == 0 {
+		t.Fatal("cache ops consumed no virtual time")
+	}
+}
+
+func TestCacheOpsAreFasterThanBlobOps(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := New(env, model.Default())
+	cl := c.NewClient("vm0", model.Small)
+	var cacheT, blobT time.Duration
+	env.Go("main", func(p *sim.Proc) {
+		if err := cl.CreateContainer(p, "bench"); err != nil {
+			t.Error(err)
+			return
+		}
+		data := payload.Synthetic(1, 64<<10)
+		if err := cl.UploadBlockBlob(p, "bench", "hot", data); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := cl.CachePut(p, "default", "hot", data, time.Hour); err != nil {
+			t.Error(err)
+			return
+		}
+		t0 := p.Now()
+		if _, err := cl.Download(p, "bench", "hot"); err != nil {
+			t.Error(err)
+			return
+		}
+		blobT = p.Now() - t0
+		t0 = p.Now()
+		if _, ok, err := cl.CacheGet(p, "default", "hot"); err != nil || !ok {
+			t.Errorf("cache get = %v, %v", ok, err)
+			return
+		}
+		cacheT = p.Now() - t0
+	})
+	env.Run()
+	if cacheT >= blobT {
+		t.Fatalf("cache read (%v) not faster than blob read (%v)", cacheT, blobT)
+	}
+}

@@ -1,0 +1,150 @@
+package cloud
+
+import (
+	"fmt"
+	"time"
+
+	"azurebench/internal/cachestore"
+	"azurebench/internal/payload"
+	"azurebench/internal/sim"
+)
+
+// cacheCluster lazily builds the caching service: the cachestore engine
+// plus one simulation station per cache node.
+func (c *Cloud) cacheCluster() *cachestore.Cluster {
+	if c.cache == nil {
+		c.cache = cachestore.New(c.clock, c.prm.CacheNodes, c.prm.CacheNodeCapacity)
+		c.cacheSrv = make([]*sim.Resource, c.prm.CacheNodes)
+		for i := range c.cacheSrv {
+			c.cacheSrv[i] = sim.NewResource(c.env, fmt.Sprintf("cache-node-%d", i), c.prm.ServerConcurrency)
+		}
+	}
+	return c.cache
+}
+
+// Cache returns the caching-service engine (for white-box assertions).
+func (c *Cloud) Cache() *cachestore.Cluster { return c.cacheCluster() }
+
+func (c *Cloud) cacheServer(cache, key string) *sim.Resource {
+	cl := c.cacheCluster()
+	return c.cacheSrv[cl.NodeFor(cache, key)]
+}
+
+// CreateCache registers a named cache.
+func (cl *Client) CreateCache(p *sim.Proc, name string) error {
+	return cl.do(p, request{
+		op:      "CreateCache",
+		service: "cache",
+		up:      reqHeader,
+		server:  cl.cloud.cacheServer(name, ""),
+		lat:     cl.cloud.prm.CacheLat,
+		apply: func() (time.Duration, int64, error) {
+			cl.cloud.cacheCluster().CreateCache(name)
+			return cl.cloud.prm.CacheOcc(true, 0), 0, nil
+		},
+	})
+}
+
+// CachePut stores value under key (ttl 0 = the service default).
+func (cl *Client) CachePut(p *sim.Proc, cache, key string, value payload.Payload, ttl time.Duration) (uint64, error) {
+	var version uint64
+	err := cl.do(p, request{
+		op:      "CachePut",
+		service: "cache",
+		up:      value.Len() + reqHeader,
+		server:  cl.cloud.cacheServer(cache, key),
+		lat:     cl.cloud.prm.CacheLat,
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			version, err = cl.cloud.cacheCluster().Put(cache, key, value, ttl)
+			return cl.cloud.prm.CacheOcc(true, value.Len()), 0, err
+		},
+	})
+	return version, err
+}
+
+// CacheGet fetches key; ok is false on a miss.
+func (cl *Client) CacheGet(p *sim.Proc, cache, key string) (cachestore.Item, bool, error) {
+	var (
+		item cachestore.Item
+		ok   bool
+	)
+	err := cl.do(p, request{
+		op:      "CacheGet",
+		service: "cache",
+		up:      reqHeader,
+		server:  cl.cloud.cacheServer(cache, key),
+		lat:     cl.cloud.prm.CacheLat,
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			item, ok, err = cl.cloud.cacheCluster().Get(cache, key)
+			size := int64(0)
+			if ok {
+				size = item.Value.Len()
+			}
+			return cl.cloud.prm.CacheOcc(false, size), size, err
+		},
+	})
+	return item, ok, err
+}
+
+// CacheRemove deletes key; it reports whether the key existed.
+func (cl *Client) CacheRemove(p *sim.Proc, cache, key string) (bool, error) {
+	var existed bool
+	err := cl.do(p, request{
+		op:      "CacheRemove",
+		service: "cache",
+		up:      reqHeader,
+		server:  cl.cloud.cacheServer(cache, key),
+		lat:     cl.cloud.prm.CacheLat,
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			existed, err = cl.cloud.cacheCluster().Remove(cache, key)
+			return cl.cloud.prm.CacheOcc(true, 0), 0, err
+		},
+	})
+	return existed, err
+}
+
+// CacheGetAndLock fetches and pessimistically locks key.
+func (cl *Client) CacheGetAndLock(p *sim.Proc, cache, key string, d time.Duration) (cachestore.Item, string, error) {
+	var (
+		item cachestore.Item
+		lock string
+	)
+	err := cl.do(p, request{
+		op:      "CacheGetAndLock",
+		service: "cache",
+		up:      reqHeader,
+		server:  cl.cloud.cacheServer(cache, key),
+		lat:     cl.cloud.prm.CacheLat,
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			item, lock, err = cl.cloud.cacheCluster().GetAndLock(cache, key, d)
+			size := int64(0)
+			if err == nil {
+				size = item.Value.Len()
+			}
+			return cl.cloud.prm.CacheOcc(false, size), size, err
+		},
+	})
+	return item, lock, err
+}
+
+// CachePutAndUnlock writes a locked key and releases the lock.
+func (cl *Client) CachePutAndUnlock(p *sim.Proc, cache, key string, value payload.Payload, lock string, ttl time.Duration) (uint64, error) {
+	var version uint64
+	err := cl.do(p, request{
+		op:      "CachePutAndUnlock",
+		service: "cache",
+		up:      value.Len() + reqHeader,
+		server:  cl.cloud.cacheServer(cache, key),
+		lat:     cl.cloud.prm.CacheLat,
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			version, err = cl.cloud.cacheCluster().PutAndUnlock(cache, key, value, lock, ttl)
+			return cl.cloud.prm.CacheOcc(true, value.Len()), 0, err
+		},
+	})
+	return version, err
+}

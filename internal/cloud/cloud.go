@@ -1,0 +1,365 @@
+// Package cloud assembles the simulated Azure datacenter: the three
+// storage engines fronted by partition servers (FIFO queueing stations in
+// the DES), 3-way replicated writes, the documented scalability-target
+// throttles, per-VM NIC links, and a client API mirroring the 2011-era
+// Azure SDK calls the paper's benchmark makes.
+//
+// Placement follows the service's documented partitioning: each blob
+// (container name + blob name) is its own partition with Replicas replica
+// servers (reads fan out, writes pay replication); each queue is a single
+// partition on one server; a table's partitions are spread round-robin
+// over TableServers stations — which is what makes table timings "almost
+// constant till 4 concurrent clients" (paper §IV-C) and queues scale
+// super-linearly when each worker brings its own queue.
+package cloud
+
+import (
+	"fmt"
+	"time"
+
+	"azurebench/internal/blobstore"
+	"azurebench/internal/cachestore"
+	"azurebench/internal/model"
+	"azurebench/internal/queuestore"
+	"azurebench/internal/sim"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/tablestore"
+	"azurebench/internal/trace"
+	"azurebench/internal/vclock"
+)
+
+// Cloud is one simulated storage account inside one simulated datacenter.
+// It must only be used from processes of the environment it was built
+// with; the simulation's cooperative scheduling makes internal locking
+// unnecessary.
+type Cloud struct {
+	env   *sim.Env
+	prm   model.Params
+	clock vclock.Sim
+
+	// The engines are exported for white-box assertions in tests and for
+	// zero-cost setup in experiment harnesses.
+	Blob  *blobstore.Store
+	Queue *queuestore.Store
+	Table *tablestore.Store
+
+	accountTx *storecommon.RateLimiter
+	accountBW *storecommon.RateLimiter
+
+	blobSrv    map[string]*replicaSet
+	queueSrv   map[string]*sim.Resource
+	queueTB    map[string]*storecommon.RateLimiter
+	tableSrv   []*sim.Resource
+	tablePlace map[string]int
+	tableTB    map[string]*storecommon.RateLimiter
+	nextTable  int
+
+	cache    *cachestore.Cluster
+	cacheSrv []*sim.Resource
+
+	traceLog *trace.Log
+
+	stats Stats
+}
+
+// SetTrace attaches an operation log; every subsequent client operation is
+// recorded with its virtual start time, duration, payload bytes and error
+// code. Pass nil to detach.
+func (c *Cloud) SetTrace(l *trace.Log) { c.traceLog = l }
+
+// Trace returns the attached operation log (nil when tracing is off).
+func (c *Cloud) Trace() *trace.Log { return c.traceLog }
+
+// Stats counts cloud-level events.
+type Stats struct {
+	Ops          uint64 // operations that reached a partition server
+	BusyRejects  uint64 // ServerBusy throttle rejections
+	BytesIn      int64  // client -> cloud payload bytes
+	BytesOut     int64  // cloud -> client payload bytes
+	ReplicaReads [8]uint64
+}
+
+type replicaSet struct {
+	replicas []*sim.Resource
+	rr       int
+}
+
+// New builds a cloud on env with parameters prm.
+func New(env *sim.Env, prm model.Params) *Cloud {
+	clock := vclock.NewSim(env)
+	return &Cloud{
+		env:        env,
+		prm:        prm,
+		clock:      clock,
+		Blob: blobstore.New(clock),
+		// FIFO is not guaranteed by the real queue service (paper §IV-B);
+		// a small selection window reproduces the occasional reordering
+		// that motivates the paper's dedicated termination-indicator queue.
+		Queue: queuestore.NewWithConfig(clock, queuestore.Config{NonFIFOWindow: 4, Seed: 7}),
+		Table: tablestore.New(clock),
+		accountTx:  storecommon.NewRateLimiter(prm.AccountOpsPerSec, prm.AccountBurst),
+		accountBW:  storecommon.NewRateLimiter(prm.AccountBandwidthBps, prm.AccountBandwidthBurst),
+		blobSrv:    map[string]*replicaSet{},
+		queueSrv:   map[string]*sim.Resource{},
+		queueTB:    map[string]*storecommon.RateLimiter{},
+		tablePlace: map[string]int{},
+		tableTB:    map[string]*storecommon.RateLimiter{},
+	}
+}
+
+// Env returns the simulation environment.
+func (c *Cloud) Env() *sim.Env { return c.env }
+
+// Params returns the model parameters in effect.
+func (c *Cloud) Params() model.Params { return c.prm }
+
+// Clock returns the cloud's clock.
+func (c *Cloud) Clock() vclock.Clock { return c.clock }
+
+// Stats returns a snapshot of cloud counters.
+func (c *Cloud) Stats() Stats { return c.stats }
+
+// --- placement ---
+
+func (c *Cloud) blobReplicas(container, blob string) *replicaSet {
+	key := container + "/" + blob
+	rs, ok := c.blobSrv[key]
+	if !ok {
+		replicas := make([]*sim.Resource, c.prm.Replicas)
+		for i := range replicas {
+			replicas[i] = sim.NewResource(c.env, fmt.Sprintf("blob:%s/r%d", key, i), c.prm.ServerConcurrency)
+		}
+		rs = &replicaSet{replicas: replicas}
+		c.blobSrv[key] = rs
+	}
+	return rs
+}
+
+// primary returns the write server of a blob partition.
+func (rs *replicaSet) primary() *sim.Resource { return rs.replicas[0] }
+
+// read returns the next replica for a read (round-robin load balancing).
+func (c *Cloud) readReplica(rs *replicaSet) *sim.Resource {
+	n := len(rs.replicas)
+	if c.prm.BlobReadReplicas < n {
+		n = c.prm.BlobReadReplicas
+	}
+	if n < 1 {
+		n = 1
+	}
+	r := rs.replicas[rs.rr%n]
+	if rs.rr%n < len(c.stats.ReplicaReads) {
+		c.stats.ReplicaReads[rs.rr%n]++
+	}
+	rs.rr++
+	return r
+}
+
+func (c *Cloud) queueServer(name string) *sim.Resource {
+	srv, ok := c.queueSrv[name]
+	if !ok {
+		srv = sim.NewResource(c.env, "queue:"+name, c.prm.ServerConcurrency)
+		c.queueSrv[name] = srv
+	}
+	return srv
+}
+
+func (c *Cloud) queueLimiter(name string) *storecommon.RateLimiter {
+	tb, ok := c.queueTB[name]
+	if !ok {
+		tb = storecommon.NewRateLimiter(c.prm.QueueOpsPerSec, c.prm.QueueBurst)
+		c.queueTB[name] = tb
+	}
+	return tb
+}
+
+// tableServer maps a (table, partition key) to one of the TableServers
+// stations, round-robin on first sight so distinct partitions spread
+// evenly (no hash collisions at small worker counts).
+func (c *Cloud) tableServer(tableName, pk string) *sim.Resource {
+	if c.tableSrv == nil {
+		c.tableSrv = make([]*sim.Resource, c.prm.TableServers)
+		for i := range c.tableSrv {
+			c.tableSrv[i] = sim.NewResource(c.env, fmt.Sprintf("table-srv-%d", i), c.prm.ServerConcurrency)
+		}
+	}
+	key := tableName + "|" + pk
+	idx, ok := c.tablePlace[key]
+	if !ok {
+		idx = c.nextTable % len(c.tableSrv)
+		c.nextTable++
+		c.tablePlace[key] = idx
+	}
+	return c.tableSrv[idx]
+}
+
+func (c *Cloud) partitionLimiter(tableName, pk string) *storecommon.RateLimiter {
+	key := tableName + "|" + pk
+	tb, ok := c.tableTB[key]
+	if !ok {
+		tb = storecommon.NewRateLimiter(c.prm.PartitionOpsPerSec, c.prm.PartitionBurst)
+		c.tableTB[key] = tb
+	}
+	return tb
+}
+
+// --- request pipeline ---
+
+// request describes one storage operation's cost structure. apply runs at
+// the partition server and returns the server occupancy (it may depend on
+// what the engine finds, e.g. the size of a dequeued message), the
+// response payload size, and the engine result.
+type request struct {
+	op      string // operation name for tracing (e.g. "PutBlock")
+	service string // blob | queue | table | cache
+	up      int64  // request payload bytes
+	server  *sim.Resource
+	queue   string // non-empty: charge the per-queue limiter
+	table   string // non-empty with part: charge the per-partition limiter
+	part    string
+	txCost  float64
+	lat     time.Duration
+	apply   func() (occ time.Duration, down int64, err error)
+	latOfSz func(down int64) time.Duration // optional size-dependent latency
+
+	// Filled in by do for the trace record.
+	tracedDown int64
+	tracedErr  string
+}
+
+var errServerBusy = storecommon.Errf(storecommon.CodeServerBusy, 503,
+	"operation was throttled (scalability target exceeded); back off and retry")
+
+// do executes the request from process p, charging NIC transfer, network
+// round trip, throttles, server occupancy and pipeline latency.
+func (cl *Client) do(p *sim.Proc, req request) error {
+	c := cl.cloud
+	prm := c.prm
+	if c.traceLog != nil {
+		start := c.env.Now()
+		defer func(start time.Duration) {
+			// The error is re-derived from stats below; record what the
+			// request moved and how long it took.
+			c.traceLog.Record(trace.Op{
+				Start:    start,
+				Duration: c.env.Now() - start,
+				Client:   cl.name,
+				Service:  req.service,
+				Name:     req.op,
+				Bytes:    req.up + req.tracedDown,
+				Err:      req.tracedErr,
+			})
+		}(start)
+	}
+	p.Sleep(prm.RequestOverhead)
+	if req.up > 0 {
+		cl.nic.Use(p, model.Xfer(req.up, cl.vm.NICBps))
+		c.stats.BytesIn += req.up
+	}
+	p.Sleep(prm.RTT / 2)
+
+	// Admission control at the front door.
+	now := c.env.Now()
+	tx := req.txCost
+	if tx == 0 {
+		tx = 1
+	}
+	admitted := c.accountTx.Allow(now, tx) &&
+		c.accountBW.Allow(now, float64(req.up))
+	if admitted && req.queue != "" {
+		admitted = c.queueLimiter(req.queue).Allow(now, tx)
+	}
+	if admitted && req.table != "" {
+		admitted = c.partitionLimiter(req.table, req.part).Allow(now, tx)
+	}
+	if !admitted {
+		c.stats.BusyRejects++
+		p.Sleep(prm.RTT / 2)
+		req.tracedErr = string(storecommon.CodeServerBusy)
+		return errServerBusy
+	}
+
+	req.server.Acquire(p)
+	occ, down, err := req.apply()
+	req.tracedDown = down
+	if err != nil {
+		req.tracedErr = string(storecommon.CodeOf(err))
+	}
+	c.stats.Ops++
+	p.Sleep(occ)
+	req.server.Release()
+
+	lat := req.lat
+	if req.latOfSz != nil {
+		lat = req.latOfSz(down)
+	}
+	p.Sleep(lat)
+	p.Sleep(prm.RTT / 2)
+	if down > 0 {
+		c.accountBW.Debit(c.env.Now(), float64(down))
+		cl.nic.Use(p, model.Xfer(down, cl.vm.NICBps))
+		c.stats.BytesOut += down
+	}
+	return err
+}
+
+// --- Client ---
+
+// Client is the storage client of one role-instance VM. Each client owns
+// its VM's NIC; a client's methods must be called from simulation
+// processes (typically the role's own process).
+type Client struct {
+	cloud *Cloud
+	name  string
+	vm    model.VMSize
+	nic   *sim.Resource
+}
+
+// NewClient creates a client bound to a VM of the given size.
+func (c *Cloud) NewClient(name string, vm model.VMSize) *Client {
+	return &Client{
+		cloud: c,
+		name:  name,
+		vm:    vm,
+		nic:   sim.NewResource(c.env, "nic:"+name, 1),
+	}
+}
+
+// Name returns the client name.
+func (cl *Client) Name() string { return cl.name }
+
+// VM returns the client's VM size.
+func (cl *Client) VM() model.VMSize { return cl.vm }
+
+// Cloud returns the owning cloud.
+func (cl *Client) Cloud() *Cloud { return cl.cloud }
+
+// WithRetry runs op, sleeping RetryBackoff and retrying whenever it is
+// throttled with ServerBusy — exactly the paper's "the worker sleeps for a
+// second before retrying the same operation". It returns the first
+// non-busy result and the number of retries performed.
+func (cl *Client) WithRetry(p *sim.Proc, op func() error) (retries int, err error) {
+	for {
+		err = op()
+		if !storecommon.IsServerBusy(err) {
+			return retries, err
+		}
+		retries++
+		p.Sleep(cl.cloud.prm.RetryBackoff)
+	}
+}
+
+// Think sleeps for roughly d (the paper's Algorithm 4 think time), with
+// the model's multiplicative jitter so that synchronized workers decohere
+// the way independently-scheduled VMs do.
+func (cl *Client) Think(p *sim.Proc, d time.Duration) {
+	j := cl.cloud.prm.ThinkJitter
+	if j > 0 {
+		f := 1 + j*(2*p.Rand().Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	p.Sleep(d)
+}
+
+// reqHeader approximates the HTTP header overhead of a request.
+const reqHeader = 512

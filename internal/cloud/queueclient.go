@@ -1,0 +1,200 @@
+package cloud
+
+import (
+	"time"
+
+	"azurebench/internal/model"
+	"azurebench/internal/payload"
+	"azurebench/internal/queuestore"
+	"azurebench/internal/sim"
+)
+
+// CreateQueue creates a queue.
+func (cl *Client) CreateQueue(p *sim.Proc, name string) error {
+	return cl.do(p, request{
+		op:      "CreateQueue",
+		service: "queue",
+		up:      reqHeader,
+		server:  cl.cloud.queueServer(name),
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Queue.CreateQueue(name)
+		},
+	})
+}
+
+// CreateQueueIfNotExists creates the queue when absent.
+func (cl *Client) CreateQueueIfNotExists(p *sim.Proc, name string) (bool, error) {
+	created := false
+	err := cl.do(p, request{
+		op:      "CreateQueueIfNotExists",
+		service: "queue",
+		up:      reqHeader,
+		server:  cl.cloud.queueServer(name),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			created, err = cl.cloud.Queue.CreateQueueIfNotExists(name)
+			return cl.cloud.prm.ContainerOpOcc, 0, err
+		},
+	})
+	return created, err
+}
+
+// DeleteQueue removes a queue and its messages.
+func (cl *Client) DeleteQueue(p *sim.Proc, name string) error {
+	return cl.do(p, request{
+		op:      "DeleteQueue",
+		service: "queue",
+		up:      reqHeader,
+		server:  cl.cloud.queueServer(name),
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Queue.DeleteQueue(name)
+		},
+	})
+}
+
+// PutMessage inserts a message (the paper's PutMessage).
+func (cl *Client) PutMessage(p *sim.Proc, name string, body payload.Payload) (queuestore.Message, error) {
+	var msg queuestore.Message
+	err := cl.do(p, request{
+		op:      "PutMessage",
+		service: "queue",
+		up:      body.Len() + reqHeader,
+		server:  cl.cloud.queueServer(name),
+		queue:   name,
+		lat:     cl.cloud.prm.QueueLat(model.QPut, body.Len()),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			msg, err = cl.cloud.Queue.Put(name, body, 0)
+			return cl.cloud.prm.QueueOcc(model.QPut, body.Len(), 0), 0, err
+		},
+	})
+	return msg, err
+}
+
+// GetMessage dequeues one message, hiding it for the visibility timeout
+// (0 = the 30 s default); ok is false when no message is visible.
+func (cl *Client) GetMessage(p *sim.Proc, name string, visibility time.Duration) (queuestore.Message, bool, error) {
+	var (
+		msg queuestore.Message
+		ok  bool
+	)
+	err := cl.do(p, request{
+		op:      "GetMessage",
+		service: "queue",
+		up:      reqHeader,
+		server:  cl.cloud.queueServer(name),
+		queue:   name,
+		latOfSz: func(down int64) time.Duration {
+			return cl.cloud.prm.QueueLat(model.QGet, down)
+		},
+		apply: func() (time.Duration, int64, error) {
+			qlen, _ := cl.cloud.Queue.ApproximateCount(name)
+			var err error
+			msg, ok, err = cl.cloud.Queue.GetOne(name, visibility)
+			size := int64(0)
+			if ok {
+				size = msg.Body.Len()
+			}
+			return cl.cloud.prm.QueueOcc(model.QGet, size, qlen), size, err
+		},
+	})
+	return msg, ok, err
+}
+
+// PeekMessage observes the front visible message without dequeuing it.
+func (cl *Client) PeekMessage(p *sim.Proc, name string) (queuestore.Message, bool, error) {
+	var (
+		msg queuestore.Message
+		ok  bool
+	)
+	err := cl.do(p, request{
+		op:      "PeekMessage",
+		service: "queue",
+		up:      reqHeader,
+		server:  cl.cloud.queueServer(name),
+		queue:   name,
+		latOfSz: func(down int64) time.Duration {
+			return cl.cloud.prm.QueueLat(model.QPeek, down)
+		},
+		apply: func() (time.Duration, int64, error) {
+			qlen, _ := cl.cloud.Queue.ApproximateCount(name)
+			var err error
+			msg, ok, err = cl.cloud.Queue.PeekOne(name)
+			size := int64(0)
+			if ok {
+				size = msg.Body.Len()
+			}
+			return cl.cloud.prm.QueueOcc(model.QPeek, size, qlen), size, err
+		},
+	})
+	return msg, ok, err
+}
+
+// DeleteMessage deletes a dequeued message using its pop receipt.
+func (cl *Client) DeleteMessage(p *sim.Proc, name, msgID, popReceipt string) error {
+	return cl.do(p, request{
+		op:      "DeleteMessage",
+		service: "queue",
+		up:      reqHeader,
+		server:  cl.cloud.queueServer(name),
+		queue:   name,
+		lat:     cl.cloud.prm.QueueLat(model.QDelete, 0),
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.QueueOcc(model.QDelete, 0, 0), 0,
+				cl.cloud.Queue.Delete(name, msgID, popReceipt)
+		},
+	})
+}
+
+// UpdateMessage replaces a dequeued message's body and visibility.
+func (cl *Client) UpdateMessage(p *sim.Proc, name, msgID, popReceipt string, body payload.Payload, visibility time.Duration) (queuestore.Message, error) {
+	var msg queuestore.Message
+	err := cl.do(p, request{
+		op:      "UpdateMessage",
+		service: "queue",
+		up:      body.Len() + reqHeader,
+		server:  cl.cloud.queueServer(name),
+		queue:   name,
+		lat:     cl.cloud.prm.QueueLat(model.QPut, body.Len()),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			msg, err = cl.cloud.Queue.Update(name, msgID, popReceipt, body, visibility)
+			return cl.cloud.prm.QueueOcc(model.QPut, body.Len(), 0), 0, err
+		},
+	})
+	return msg, err
+}
+
+// GetMessageCount returns the approximate message count — the primitive
+// under the paper's queue-based barrier (Algorithm 2).
+func (cl *Client) GetMessageCount(p *sim.Proc, name string) (int, error) {
+	n := 0
+	err := cl.do(p, request{
+		op:      "GetMessageCount",
+		service: "queue",
+		up:      reqHeader,
+		server:  cl.cloud.queueServer(name),
+		queue:   name,
+		lat:     cl.cloud.prm.QueueLat(model.QPeek, 0),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			n, err = cl.cloud.Queue.ApproximateCount(name)
+			return cl.cloud.prm.QueueOcc(model.QPeek, 0, 0), reqHeader, err
+		},
+	})
+	return n, err
+}
+
+// ClearQueue removes all messages from the queue.
+func (cl *Client) ClearQueue(p *sim.Proc, name string) error {
+	return cl.do(p, request{
+		op:      "ClearQueue",
+		service: "queue",
+		up:      reqHeader,
+		server:  cl.cloud.queueServer(name),
+		queue:   name,
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Queue.ClearMessages(name)
+		},
+	})
+}

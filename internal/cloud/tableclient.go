@@ -1,0 +1,224 @@
+package cloud
+
+import (
+	"time"
+
+	"azurebench/internal/model"
+	"azurebench/internal/sim"
+	"azurebench/internal/tablestore"
+)
+
+// CreateTable creates a table. Table management is metadata work on the
+// first table server.
+func (cl *Client) CreateTable(p *sim.Proc, name string) error {
+	return cl.do(p, request{
+		op:      "CreateTable",
+		service: "table",
+		up:      reqHeader,
+		server:  cl.cloud.tableServer(name, ""),
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Table.CreateTable(name)
+		},
+	})
+}
+
+// CreateTableIfNotExists creates the table when absent.
+func (cl *Client) CreateTableIfNotExists(p *sim.Proc, name string) (bool, error) {
+	created := false
+	err := cl.do(p, request{
+		op:      "CreateTableIfNotExists",
+		service: "table",
+		up:      reqHeader,
+		server:  cl.cloud.tableServer(name, ""),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			created, err = cl.cloud.Table.CreateTableIfNotExists(name)
+			return cl.cloud.prm.ContainerOpOcc, 0, err
+		},
+	})
+	return created, err
+}
+
+// DeleteTable removes a table.
+func (cl *Client) DeleteTable(p *sim.Proc, name string) error {
+	return cl.do(p, request{
+		op:      "DeleteTable",
+		service: "table",
+		up:      reqHeader,
+		server:  cl.cloud.tableServer(name, ""),
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Table.DeleteTable(name)
+		},
+	})
+}
+
+// InsertEntity adds a row (the paper's AddRow).
+func (cl *Client) InsertEntity(p *sim.Proc, tableName string, e *tablestore.Entity) (*tablestore.Entity, error) {
+	var stored *tablestore.Entity
+	size := e.Size()
+	err := cl.do(p, request{
+		op:      "InsertEntity",
+		service: "table",
+		up:      size + reqHeader,
+		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
+		table:   tableName,
+		part:    e.PartitionKey,
+		lat:     cl.cloud.prm.TableLat(model.TInsert),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			stored, err = cl.cloud.Table.Insert(tableName, e)
+			return cl.cloud.prm.TableOcc(model.TInsert, size), 0, err
+		},
+	})
+	return stored, err
+}
+
+// GetEntity retrieves one row by primary key (the paper's Query of
+// Algorithm 5: a point query on PartitionKey+RowKey).
+func (cl *Client) GetEntity(p *sim.Proc, tableName, pk, rk string) (*tablestore.Entity, error) {
+	var e *tablestore.Entity
+	err := cl.do(p, request{
+		op:      "GetEntity",
+		service: "table",
+		up:      reqHeader,
+		server:  cl.cloud.tableServer(tableName, pk),
+		table:   tableName,
+		part:    pk,
+		lat:     cl.cloud.prm.TableLat(model.TQuery),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			e, err = cl.cloud.Table.Get(tableName, pk, rk)
+			size := int64(0)
+			if e != nil {
+				size = e.Size()
+			}
+			return cl.cloud.prm.TableOcc(model.TQuery, size), size, err
+		},
+	})
+	return e, err
+}
+
+// UpdateEntity replaces a row under an ETag condition ("*" for the
+// unconditional update the paper benchmarks).
+func (cl *Client) UpdateEntity(p *sim.Proc, tableName string, e *tablestore.Entity, ifMatch string) (*tablestore.Entity, error) {
+	var stored *tablestore.Entity
+	size := e.Size()
+	err := cl.do(p, request{
+		op:      "UpdateEntity",
+		service: "table",
+		up:      size + reqHeader,
+		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
+		table:   tableName,
+		part:    e.PartitionKey,
+		lat:     cl.cloud.prm.TableLat(model.TUpdate),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			stored, err = cl.cloud.Table.Replace(tableName, e, ifMatch)
+			return cl.cloud.prm.TableOcc(model.TUpdate, size), 0, err
+		},
+	})
+	return stored, err
+}
+
+// MergeEntity merges properties into a row under an ETag condition.
+func (cl *Client) MergeEntity(p *sim.Proc, tableName string, e *tablestore.Entity, ifMatch string) (*tablestore.Entity, error) {
+	var stored *tablestore.Entity
+	size := e.Size()
+	err := cl.do(p, request{
+		op:      "MergeEntity",
+		service: "table",
+		up:      size + reqHeader,
+		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
+		table:   tableName,
+		part:    e.PartitionKey,
+		lat:     cl.cloud.prm.TableLat(model.TUpdate),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			stored, err = cl.cloud.Table.Merge(tableName, e, ifMatch)
+			return cl.cloud.prm.TableOcc(model.TUpdate, size), 0, err
+		},
+	})
+	return stored, err
+}
+
+// DeleteEntity deletes a row under an ETag condition.
+func (cl *Client) DeleteEntity(p *sim.Proc, tableName, pk, rk, ifMatch string) error {
+	return cl.do(p, request{
+		op:      "DeleteEntity",
+		service: "table",
+		up:      reqHeader,
+		server:  cl.cloud.tableServer(tableName, pk),
+		table:   tableName,
+		part:    pk,
+		lat:     cl.cloud.prm.TableLat(model.TDelete),
+		apply: func() (time.Duration, int64, error) {
+			return cl.cloud.prm.TableOcc(model.TDelete, 0), 0,
+				cl.cloud.Table.Delete(tableName, pk, rk, ifMatch)
+		},
+	})
+}
+
+// QueryEntities runs a filtered scan restricted to one partition (pk) so
+// the request can be routed to its partition server; use pk="" for a
+// cross-partition scan, which is charged to the table's first server.
+func (cl *Client) QueryEntities(p *sim.Proc, tableName, pk, filter string, top int, from tablestore.Continuation) (tablestore.QueryResult, error) {
+	var res tablestore.QueryResult
+	err := cl.do(p, request{
+		op:      "QueryEntities",
+		service: "table",
+		up:      reqHeader + int64(len(filter)),
+		server:  cl.cloud.tableServer(tableName, pk),
+		table:   tableName,
+		part:    pk,
+		lat:     cl.cloud.prm.TableLat(model.TQuery),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			res, err = cl.cloud.Table.Query(tableName, filter, top, from)
+			var size int64
+			for _, e := range res.Entities {
+				size += e.Size()
+			}
+			return cl.cloud.prm.TableOcc(model.TQuery, size), size, err
+		},
+	})
+	return res, err
+}
+
+// ExecuteBatch runs an entity-group transaction; all operations hit the
+// partition's server as one request.
+func (cl *Client) ExecuteBatch(p *sim.Proc, tableName string, ops []tablestore.BatchOp) (int, error) {
+	if len(ops) == 0 {
+		return -1, nil
+	}
+	pk := ops[0].Entity.PartitionKey
+	var up, occTotal = int64(reqHeader), time.Duration(0)
+	for _, op := range ops {
+		size := op.Entity.Size()
+		up += size
+		switch op.Kind {
+		case tablestore.BatchInsert, tablestore.BatchInsertOrReplace, tablestore.BatchInsertOrMerge:
+			occTotal += cl.cloud.prm.TableOcc(model.TInsert, size)
+		case tablestore.BatchReplace, tablestore.BatchMerge:
+			occTotal += cl.cloud.prm.TableOcc(model.TUpdate, size)
+		case tablestore.BatchDelete:
+			occTotal += cl.cloud.prm.TableOcc(model.TDelete, 0)
+		}
+	}
+	failed := -1
+	err := cl.do(p, request{
+		op:      "ExecuteBatch",
+		service: "table",
+		up:      up,
+		server:  cl.cloud.tableServer(tableName, pk),
+		table:   tableName,
+		part:    pk,
+		txCost:  float64(len(ops)),
+		lat:     cl.cloud.prm.TableLat(model.TInsert),
+		apply: func() (time.Duration, int64, error) {
+			var err error
+			failed, err = cl.cloud.Table.ExecuteBatch(tableName, ops)
+			return occTotal, 0, err
+		},
+	})
+	return failed, err
+}

@@ -1,0 +1,88 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"azurebench/internal/model"
+	"azurebench/internal/payload"
+	"azurebench/internal/sim"
+	"azurebench/internal/trace"
+)
+
+func TestTraceRecordsOperations(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := New(env, model.Default())
+	log := trace.New(1000)
+	c.SetTrace(log)
+	cl := c.NewClient("vm0", model.Small)
+	env.Go("main", func(p *sim.Proc) {
+		if err := cl.CreateContainer(p, "bench"); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := cl.UploadBlockBlob(p, "bench", "b", payload.Zero(1024)); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := cl.Download(p, "bench", "b"); err != nil {
+			t.Error(err)
+			return
+		}
+		// A failing op must be recorded with its error code.
+		if _, err := cl.Download(p, "bench", "missing"); err == nil {
+			t.Error("expected not-found")
+		}
+	})
+	env.Run()
+	ops := log.Ops()
+	if len(ops) != 4 {
+		t.Fatalf("recorded %d ops, want 4", len(ops))
+	}
+	names := map[string]int{}
+	for _, op := range ops {
+		names[op.Name]++
+		if op.Service != "blob" || op.Client != "vm0" {
+			t.Fatalf("op = %+v", op)
+		}
+		if op.Duration <= 0 {
+			t.Fatalf("op without duration: %+v", op)
+		}
+	}
+	if names["CreateContainer"] != 1 || names["UploadBlockBlob"] != 1 || names["Download"] != 2 {
+		t.Fatalf("names = %v", names)
+	}
+	// The failed download carries its error code.
+	var sawErr bool
+	for _, op := range ops {
+		if op.Err == "BlobNotFound" {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("failed op not recorded with error code")
+	}
+	// Bytes: the upload moved >= 1024 bytes up, the download >= 1024 down.
+	rows := log.Rows()
+	for _, r := range rows {
+		if r.Name == "UploadBlockBlob" && r.Bytes < 1024 {
+			t.Fatalf("upload bytes = %d", r.Bytes)
+		}
+	}
+	_ = time.Second
+}
+
+func TestTraceDetached(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := New(env, model.Default())
+	if c.Trace() != nil {
+		t.Fatal("trace attached by default")
+	}
+	cl := c.NewClient("vm0", model.Small)
+	env.Go("main", func(p *sim.Proc) {
+		if err := cl.CreateContainer(p, "bench"); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run() // must not panic with tracing off
+}

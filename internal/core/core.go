@@ -1,0 +1,286 @@
+// Package core is AzureBench itself: the benchmark suite of the paper's
+// Section IV, reimplemented over the simulated Azure cloud. Each
+// experiment (one per paper table/figure) deploys worker-role processes
+// against a fresh cloud, runs the corresponding algorithm (Algorithms 1,
+// 3, 4, 5 and the Algorithm 2 barrier), and emits the figure's data series
+// in virtual time.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"azurebench/internal/cloud"
+	"azurebench/internal/metrics"
+	"azurebench/internal/model"
+	"azurebench/internal/sim"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/trace"
+)
+
+// Config scales the suite. DefaultConfig reproduces the paper's setup;
+// tests shrink it for speed.
+type Config struct {
+	// Workers is the worker-role sweep (paper: up to 100 processors).
+	Workers []int
+	// VM is the worker VM size.
+	VM model.VMSize
+	// Params is the cloud performance model.
+	Params model.Params
+	// Seed feeds the deterministic simulation.
+	Seed int64
+
+	// Blob benchmark (Algorithm 1 / Figures 4-5).
+	BlobMB     int // blob size per type (paper: 100)
+	ChunkMB    int // upload chunk (paper: 1)
+	ChunkReads int // per-worker random page / sequential block reads (paper: 100)
+
+	// Queue benchmark, queue per worker (Algorithm 3 / Figure 6).
+	QueueMessages int   // total messages across workers (paper: 20 000)
+	QueueSizesKB  []int // message sizes (paper: 4, 8, 16, 32, 64)
+
+	// Queue benchmark, shared queue (Algorithm 4 / Figure 7).
+	SharedRounds    int             // total put/peek/get rounds across workers
+	SharedMsgSizeKB int             // paper: 32
+	ThinkTimes      []time.Duration // paper: 1s..5s
+
+	// Table benchmark (Algorithm 5 / Figure 8).
+	TableEntities int   // per worker (paper: 500)
+	TableSizesKB  []int // entity sizes (paper: 4, 8, 16, 32, 64)
+
+	// TraceOps attaches an operation log (Suite.TraceLog) to every cloud
+	// the experiments build.
+	TraceOps bool
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Workers:         []int{1, 2, 4, 8, 16, 32, 48, 64, 80, 96},
+		VM:              model.Small,
+		Params:          model.Default(),
+		Seed:            2012,
+		BlobMB:          100,
+		ChunkMB:         1,
+		ChunkReads:      100,
+		QueueMessages:   20000,
+		QueueSizesKB:    []int{4, 8, 16, 32, 64},
+		SharedRounds:    2000,
+		SharedMsgSizeKB: 32,
+		ThinkTimes: []time.Duration{
+			1 * time.Second, 2 * time.Second, 3 * time.Second,
+			4 * time.Second, 5 * time.Second,
+		},
+		TableEntities: 500,
+		TableSizesKB:  []int{4, 8, 16, 32, 64},
+	}
+}
+
+// QuickConfig returns a reduced configuration for smoke runs and tests:
+// the same experiments at roughly 1/10 scale.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Workers = []int{1, 2, 4, 8, 16, 32}
+	cfg.BlobMB = 20
+	cfg.ChunkReads = 20
+	cfg.QueueMessages = 2000
+	cfg.QueueSizesKB = []int{4, 16, 48}
+	cfg.SharedRounds = 300
+	cfg.ThinkTimes = []time.Duration{1 * time.Second, 3 * time.Second, 5 * time.Second}
+	cfg.TableEntities = 50
+	cfg.TableSizesKB = []int{4, 16, 64}
+	return cfg
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID      string
+	Title   string
+	Figures []metrics.Figure
+	Notes   []string
+	// Wall is the real time the simulation took; virtual durations are in
+	// the figures themselves.
+	Wall time.Duration
+}
+
+// Render formats the full report as text.
+func (r *Report) Render() string {
+	out := fmt.Sprintf("=== %s — %s (simulated in %v wall time) ===\n", r.ID, r.Title, r.Wall.Round(time.Millisecond))
+	for _, fig := range r.Figures {
+		out += "\n" + fig.Render()
+	}
+	for _, n := range r.Notes {
+		out += "\nnote: " + n + "\n"
+	}
+	return out
+}
+
+// Experiment is a runnable suite entry.
+type Experiment struct {
+	ID    string // e.g. "fig4"
+	Title string
+	Run   func(s *Suite) *Report
+}
+
+// Suite binds a configuration to the experiment registry.
+type Suite struct {
+	cfg      Config
+	traceLog *trace.Log
+}
+
+// NewSuite returns a suite over cfg.
+func NewSuite(cfg Config) *Suite {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = DefaultConfig().Workers
+	}
+	if cfg.VM.Name == "" {
+		cfg.VM = model.Small
+	}
+	if cfg.Params.RTT == 0 {
+		cfg.Params = model.Default()
+	}
+	s := &Suite{cfg: cfg}
+	if cfg.TraceOps {
+		s.traceLog = trace.New(1 << 20)
+	}
+	return s
+}
+
+// TraceLog returns the shared operation log (nil unless Config.TraceOps).
+func (s *Suite) TraceLog() *trace.Log { return s.traceLog }
+
+// Config returns the suite's configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// Experiments lists the registry in presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "VM configurations (Table I)", Run: (*Suite).RunTableI},
+		{ID: "fig4", Title: "Blob storage upload/download (Figure 4)", Run: (*Suite).RunFig4},
+		{ID: "fig5", Title: "Blob download one page/block at a time (Figure 5)", Run: (*Suite).RunFig5},
+		{ID: "fig6", Title: "Queue benchmarks, separate queue per worker (Figure 6)", Run: (*Suite).RunFig6},
+		{ID: "fig7", Title: "Queue benchmarks, single shared queue (Figure 7)", Run: (*Suite).RunFig7},
+		{ID: "fig8", Title: "Table storage benchmarks (Figure 8)", Run: (*Suite).RunFig8},
+		{ID: "fig9", Title: "Per-operation time, Queue vs Table (Figure 9)", Run: (*Suite).RunFig9},
+		{ID: "throttle", Title: "Scalability-target throttling (ServerBusy + 1s retry)", Run: (*Suite).RunThrottle},
+		{ID: "barrier", Title: "Queue-message barrier cost (Algorithm 2)", Run: (*Suite).RunBarrier},
+		{ID: "netmodel", Title: "DES vs analytical max-min fair-share cross-check", Run: (*Suite).RunNetModel},
+		{ID: "ablation", Title: "Model ablations (replication, read fan-out, table servers, quirk)", Run: (*Suite).RunAblation},
+		{ID: "cache", Title: "Caching service vs Blob storage for hot objects (future work)", Run: (*Suite).RunCache},
+		{ID: "provision", Title: "Provisioning/deployment timings (future work)", Run: (*Suite).RunProvision},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared harness plumbing ---
+
+// newCloud builds a fresh environment + cloud for one data point.
+func (s *Suite) newCloud() (*sim.Env, *cloud.Cloud) {
+	env := sim.NewEnv(s.cfg.Seed)
+	c := cloud.New(env, s.cfg.Params)
+	if s.traceLog != nil {
+		c.SetTrace(s.traceLog)
+	}
+	return env, c
+}
+
+// workerResult carries one worker's phase timings, keyed by phase name.
+type workerResult struct {
+	phase map[string]time.Duration
+	dist  map[string]*metrics.Dist
+}
+
+func newWorkerResult() *workerResult {
+	return &workerResult{phase: map[string]time.Duration{}, dist: map[string]*metrics.Dist{}}
+}
+
+func (wr *workerResult) addSample(phase string, d time.Duration) {
+	dist := wr.dist[phase]
+	if dist == nil {
+		dist = &metrics.Dist{}
+		wr.dist[phase] = dist
+	}
+	dist.Add(d)
+}
+
+// phaseStats aggregates one phase across workers.
+type phaseStats struct {
+	mean     time.Duration // mean per-worker phase duration
+	makespan time.Duration // max per-worker phase duration
+	ops      metrics.Dist  // merged per-op samples
+}
+
+func aggregate(results []*workerResult, phase string) phaseStats {
+	var st phaseStats
+	var sum time.Duration
+	n := 0
+	for _, wr := range results {
+		if d, ok := wr.phase[phase]; ok {
+			sum += d
+			n++
+			if d > st.makespan {
+				st.makespan = d
+			}
+		}
+		if dist, ok := wr.dist[phase]; ok {
+			st.ops.Merge(dist)
+		}
+	}
+	if n > 0 {
+		st.mean = sum / time.Duration(n)
+	}
+	return st
+}
+
+// split divides total work items across w workers: worker k gets
+// [start, start+n).
+func split(total, w, k int) (start, n int) {
+	base := total / w
+	extra := total % w
+	start = k*base + min(k, extra)
+	n = base
+	if k < extra {
+		n++
+	}
+	return start, n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mustRetry panics unless the error is nil after busy retries — experiment
+// code treats any persistent storage error as fatal (the simulation is
+// deterministic, so this indicates a bug, not flakiness).
+func mustRetry(p *sim.Proc, cl *cloud.Client, what string, op func() error) {
+	if _, err := cl.WithRetry(p, op); err != nil {
+		panic(fmt.Sprintf("%s: %v", what, err))
+	}
+}
+
+// checkBusyOnly panics on any error other than ServerBusy.
+func checkBusyOnly(what string, err error) {
+	if err != nil && !storecommon.IsServerBusy(err) {
+		panic(fmt.Sprintf("%s: %v", what, err))
+	}
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,39 @@
+package core
+
+import "testing"
+
+// TestExperimentsDeterministic runs a figure-producing experiment twice
+// with the same seed and requires bit-identical output — the property that
+// makes every number in EXPERIMENTS.md reproducible.
+func TestExperimentsDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Workers = []int{1, 8}
+	render := func() string {
+		s := NewSuite(cfg)
+		rep := s.RunFig4()
+		rep.Wall = 0 // wall time is the one legitimately nondeterministic field
+		return rep.Render()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("fig4 output differs between identical runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func TestSeedChangesJitteredExperiments(t *testing.T) {
+	// The shared-queue benchmark uses think-time jitter; different seeds
+	// must actually change the trajectory (guards against a silently
+	// ignored seed).
+	cfg := tinyConfig()
+	cfg.Workers = []int{8}
+	run := func(seed int64) string {
+		cfg.Seed = seed
+		s := NewSuite(cfg)
+		rep := s.RunFig7()
+		rep.Wall = 0
+		return rep.Render()
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced identical jittered results")
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"azurebench/internal/fabric"
+	"azurebench/internal/metrics"
+	"azurebench/internal/payload"
+	"azurebench/internal/sim"
+	"azurebench/internal/storecommon"
+)
+
+// RunCache benchmarks the caching service the paper defers to future work
+// (§II, §V): w workers repeatedly read one hot 64 KB object either
+// directly from Blob storage (bounded by the blob partition's service
+// rate × read replicas) or cache-aside through the distributed cache
+// (bounded only by the cache node's RAM-speed service). The figure shows
+// the aggregate read rate of both paths.
+func (s *Suite) RunCache() *Report {
+	wall := time.Now()
+	fig := metrics.Figure{
+		Title:  "Caching service: hot-object read throughput, Blob direct vs cache-aside",
+		XLabel: "workers",
+		YLabel: "reads/s (aggregate)",
+	}
+	latFig := metrics.Figure{
+		Title:  "Caching service: mean read latency",
+		XLabel: "workers",
+		YLabel: "ms",
+	}
+	const (
+		objSize   = 64 * storecommon.KB
+		readsEach = 50
+		hotKey    = "hot-config"
+	)
+	for _, w := range sortedCopy(s.cfg.Workers) {
+		for _, cached := range []bool{false, true} {
+			env, c := s.newCloud()
+			setup := c.NewClient("setup", s.cfg.VM)
+			env.Go("setup", func(p *sim.Proc) {
+				mustRetry(p, setup, "create container", func() error {
+					_, err := setup.CreateContainerIfNotExists(p, benchContainer)
+					return err
+				})
+				mustRetry(p, setup, "upload hot blob", func() error {
+					return setup.UploadBlockBlob(p, benchContainer, hotKey, payload.Synthetic(1, objSize))
+				})
+			})
+			env.Run()
+			start := env.Now()
+			var ops metrics.Dist
+			for k := 0; k < w; k++ {
+				cl := c.NewClient(fmt.Sprintf("worker%d", k), s.cfg.VM)
+				env.Go(fmt.Sprintf("worker%d", k), func(p *sim.Proc) {
+					for i := 0; i < readsEach; i++ {
+						t0 := p.Now()
+						if cached {
+							item, ok, err := cl.CacheGet(p, "default", hotKey)
+							checkBusyOnly("cache get", err)
+							if !ok {
+								// Cache-aside fill on miss.
+								data, err := cl.Download(p, benchContainer, hotKey)
+								checkBusyOnly("fill read", err)
+								if _, err := cl.CachePut(p, "default", hotKey, data, time.Hour); err != nil {
+									checkBusyOnly("cache fill", err)
+								}
+							} else if item.Value.Len() != objSize {
+								panic("cache returned wrong object")
+							}
+						} else {
+							_, err := cl.Download(p, benchContainer, hotKey)
+							checkBusyOnly("blob read", err)
+						}
+						ops.Add(p.Now() - t0)
+					}
+				})
+			}
+			env.Run()
+			elapsed := env.Now() - start
+			series := "Blob direct"
+			if cached {
+				series = "cache-aside"
+			}
+			fig.AddPoint(series, float64(w), float64(w*readsEach)/elapsed.Seconds())
+			latFig.AddPoint(series, float64(w), float64(ops.Mean())/float64(time.Millisecond))
+		}
+	}
+	return &Report{
+		ID:      "cache",
+		Title:   "Caching service vs Blob storage for hot objects (paper §II/§V future work)",
+		Figures: []metrics.Figure{fig, latFig},
+		Notes: []string{
+			fmt.Sprintf("one hot %d KB object, %d reads per worker; cache-aside pattern with per-cloud 4-node cache cluster", objSize/storecommon.KB, readsEach),
+			"the blob path saturates at the partition's service rate across read replicas; the cache path runs at RAM speed",
+		},
+		Wall: time.Since(wall),
+	}
+}
+
+// RunProvision measures deployment readiness times (paper §V future work:
+// "resource provisioning times and application deployment timings"): how
+// long until the first and the last of w instances is ready, as the
+// fabric controller serialises placement and VMs boot with jitter.
+func (s *Suite) RunProvision() *Report {
+	wall := time.Now()
+	fig := metrics.Figure{
+		Title:  "Deployment provisioning time vs instance count",
+		XLabel: "instances",
+		YLabel: "seconds",
+	}
+	prm := s.cfg.Params
+	for _, w := range sortedCopy(s.cfg.Workers) {
+		env, c := s.newCloud()
+		d := fabric.DeployWithOptions(c, "prov", fabric.DeployOpts{
+			BootBase:       prm.VMBootBase,
+			BootJitter:     prm.VMBootJitter,
+			PlacementDelay: prm.PlacementDelay,
+		}, fabric.RoleConfig{
+			Name: "w", Kind: fabric.WorkerRole, VM: s.cfg.VM, Count: w,
+			Run: func(ctx *fabric.Context) {},
+		})
+		env.Run()
+		var first, last time.Duration
+		for i, inst := range d.Instances() {
+			r := inst.ReadyAt()
+			if i == 0 || r < first {
+				first = r
+			}
+			if r > last {
+				last = r
+			}
+		}
+		fig.AddPoint("first ready", float64(w), first.Seconds())
+		fig.AddPoint("all ready", float64(w), last.Seconds())
+	}
+	return &Report{
+		ID:      "provision",
+		Title:   "Resource provisioning / deployment timings (paper §V future work)",
+		Figures: []metrics.Figure{fig},
+		Notes: []string{
+			fmt.Sprintf("boot = %v + U(0, %v) per instance; fabric controller places instances every %v",
+				prm.VMBootBase, prm.VMBootJitter, prm.PlacementDelay),
+			"time-to-all-ready grows with the placement serialisation plus the maximum of the boot jitters",
+		},
+		Wall: time.Since(wall),
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNetModelCrossCheck(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Workers = []int{1, 16}
+	s := NewSuite(cfg)
+	rep := s.RunNetModel()
+	fig := rep.Figures[0]
+	// The DES must track the fluid model from below: never above it by
+	// more than rounding, within 2x of it everywhere.
+	for _, w := range []float64{1, 16} {
+		des := seriesY(t, fig, "DES measured", w)
+		fluid := seriesY(t, fig, "fair-share predicted", w)
+		if des > fluid*1.05 {
+			t.Errorf("w=%v: DES %.1f exceeds fluid bound %.1f", w, des, fluid)
+		}
+		if des < fluid/2 {
+			t.Errorf("w=%v: DES %.1f implausibly far below fluid %.1f", w, des, fluid)
+		}
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Workers = []int{16}
+	cfg.QueueMessages = 200
+	cfg.TableEntities = 15
+	s := NewSuite(cfg)
+	rep := s.RunAblation()
+	replFig, readFig, tableFig, quirkFig := rep.Figures[0], rep.Figures[1], rep.Figures[2], rep.Figures[3]
+	// Fewer replicas => faster writes.
+	if one, three := seriesY(t, replFig, "PageUpload", 1), seriesY(t, replFig, "PageUpload", 3); one <= three {
+		t.Errorf("replication ablation: 1 replica (%v) not faster than 3 (%v)", one, three)
+	}
+	// More read replicas => faster downloads.
+	if one, three := seriesY(t, readFig, "BlockDownload", 1), seriesY(t, readFig, "BlockDownload", 3); three <= one {
+		t.Errorf("read-replica ablation: 3 replicas (%v) not faster than 1 (%v)", three, one)
+	}
+	// More table servers => shorter insert phase.
+	if two, sixteen := seriesY(t, tableFig, "insert", 2), seriesY(t, tableFig, "insert", 16); sixteen >= two {
+		t.Errorf("table-server ablation: 16 servers (%v) not faster than 2 (%v)", sixteen, two)
+	}
+	// Quirk on bumps only the 16KB point.
+	on16 := seriesY(t, quirkFig, "quirk on (paper's observation)", 16)
+	off16 := seriesY(t, quirkFig, "quirk off", 16)
+	if on16 <= off16 {
+		t.Errorf("quirk ablation: on (%v) not slower than off (%v) at 16KB", on16, off16)
+	}
+	on32 := seriesY(t, quirkFig, "quirk on (paper's observation)", 32)
+	off32 := seriesY(t, quirkFig, "quirk off", 32)
+	if on32 != off32 {
+		t.Errorf("quirk leaked into 32KB: on=%v off=%v", on32, off32)
+	}
+}
+
+func TestCacheBeatsBlobForHotObjects(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Workers = []int{1, 8}
+	s := NewSuite(cfg)
+	rep := s.RunCache()
+	tput := rep.Figures[0]
+	lat := rep.Figures[1]
+	for _, w := range []float64{1, 8} {
+		blob := seriesY(t, tput, "Blob direct", w)
+		cached := seriesY(t, tput, "cache-aside", w)
+		if cached < blob*2 {
+			t.Errorf("w=%v: cache-aside %.1f not clearly faster than blob %.1f", w, cached, blob)
+		}
+	}
+	if bl, cl := seriesY(t, lat, "Blob direct", 8), seriesY(t, lat, "cache-aside", 8); cl >= bl {
+		t.Errorf("cache latency %v >= blob latency %v", cl, bl)
+	}
+}
+
+func TestProvisionTimings(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Workers = []int{1, 16}
+	s := NewSuite(cfg)
+	rep := s.RunProvision()
+	fig := rep.Figures[0]
+	prm := s.Config().Params
+	all1 := seriesY(t, fig, "all ready", 1)
+	all16 := seriesY(t, fig, "all ready", 16)
+	if all16 <= all1 {
+		t.Errorf("16-instance deployment (%vs) not slower than 1 (%vs)", all16, all1)
+	}
+	// Every instance needs at least the base boot time.
+	if first := seriesY(t, fig, "first ready", 16); first < prm.VMBootBase.Seconds() {
+		t.Errorf("first ready %vs below the base boot time %v", first, prm.VMBootBase)
+	}
+	// And never more than base + jitter + full placement serialisation.
+	bound := (prm.VMBootBase + prm.VMBootJitter + 16*prm.PlacementDelay).Seconds()
+	if all16 > bound {
+		t.Errorf("all ready %vs exceeds bound %vs", all16, bound)
+	}
+	_ = time.Second
+}

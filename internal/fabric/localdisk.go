@@ -1,0 +1,102 @@
+package fabric
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/sim"
+	"azurebench/internal/storecommon"
+)
+
+// Local-disk performance of the era's role VMs (commodity HDD behind a
+// hypervisor). The paper deliberately excludes local storage from its
+// study ("similar to writing to the local hard disk"); the resource is
+// modelled here for completeness of the role environment.
+const (
+	LocalDiskRate    = 80 * storecommon.MB // bytes/s sequential
+	LocalDiskLatency = 8 * time.Millisecond
+)
+
+// LocalDisk is a role instance's configured local storage: a flat
+// namespace of files bounded by the VM size's disk capacity (Table I).
+// Contents do not survive an instance recycle — exactly the property that
+// makes durable state belong in the storage services.
+type LocalDisk struct {
+	capacity int64
+	used     int64
+	files    map[string]payload.Payload
+}
+
+// Disk returns the instance's local storage, sized from its VM
+// configuration. The first call initialises an empty disk.
+func (i *Instance) Disk() *LocalDisk {
+	if i.disk == nil {
+		i.disk = &LocalDisk{
+			capacity: int64(i.vm.DiskGB) * storecommon.GB,
+			files:    map[string]payload.Payload{},
+		}
+	}
+	return i.disk
+}
+
+// wipeDisk clears local storage (called on recycle).
+func (i *Instance) wipeDisk() { i.disk = nil }
+
+// Capacity returns the configured size in bytes.
+func (d *LocalDisk) Capacity() int64 { return d.capacity }
+
+// Used returns the bytes currently stored.
+func (d *LocalDisk) Used() int64 { return d.used }
+
+// Write stores data under name, charging seek latency plus sequential
+// transfer time. Overwrites reclaim the old file's space first.
+func (d *LocalDisk) Write(p *sim.Proc, name string, data payload.Payload) error {
+	old := int64(0)
+	if prev, ok := d.files[name]; ok {
+		old = prev.Len()
+	}
+	if d.used-old+data.Len() > d.capacity {
+		return storecommon.Errf(storecommon.CodeOutOfCapacity, 507,
+			"local disk full: %d used of %d, writing %d", d.used, d.capacity, data.Len())
+	}
+	p.Sleep(LocalDiskLatency + time.Duration(float64(data.Len())/LocalDiskRate*float64(time.Second)))
+	d.used += data.Len() - old
+	d.files[name] = data
+	return nil
+}
+
+// Read returns the file's content, charging seek latency plus transfer.
+func (d *LocalDisk) Read(p *sim.Proc, name string) (payload.Payload, error) {
+	data, ok := d.files[name]
+	if !ok {
+		return payload.Payload{}, storecommon.Errf(storecommon.CodeResourceNotFound, 404,
+			"local file %q not found", name)
+	}
+	p.Sleep(LocalDiskLatency + time.Duration(float64(data.Len())/LocalDiskRate*float64(time.Second)))
+	return data, nil
+}
+
+// Delete removes a file; it reports whether the file existed.
+func (d *LocalDisk) Delete(name string) bool {
+	data, ok := d.files[name]
+	if !ok {
+		return false
+	}
+	d.used -= data.Len()
+	delete(d.files, name)
+	return true
+}
+
+// List returns file names with the given prefix, sorted.
+func (d *LocalDisk) List(prefix string) []string {
+	var out []string
+	for name := range d.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,107 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"azurebench/internal/cloud"
+	"azurebench/internal/model"
+	"azurebench/internal/payload"
+	"azurebench/internal/sim"
+	"azurebench/internal/storecommon"
+)
+
+func TestLocalDiskReadWrite(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := cloud.New(env, model.Default())
+	var elapsedWrite time.Duration
+	Deploy(c, "app", RoleConfig{Name: "w", Kind: WorkerRole, VM: model.Small, Count: 1,
+		Run: func(ctx *Context) {
+			p := ctx.Proc
+			disk := ctx.Instance.Disk()
+			if disk.Capacity() != int64(model.Small.DiskGB)*storecommon.GB {
+				t.Errorf("capacity = %d, want Table I's %d GB", disk.Capacity(), model.Small.DiskGB)
+			}
+			data := payload.Synthetic(1, 8<<20)
+			t0 := p.Now()
+			if err := disk.Write(p, "scratch/data.bin", data); err != nil {
+				t.Error(err)
+				return
+			}
+			elapsedWrite = p.Now() - t0
+			got, err := disk.Read(p, "scratch/data.bin")
+			if err != nil || !payload.Equal(got, data) {
+				t.Errorf("read mismatch (err=%v)", err)
+			}
+			if disk.Used() != data.Len() {
+				t.Errorf("used = %d", disk.Used())
+			}
+			if got := disk.List("scratch/"); len(got) != 1 {
+				t.Errorf("list = %v", got)
+			}
+			// Overwrite reclaims space.
+			if err := disk.Write(p, "scratch/data.bin", payload.Zero(1024)); err != nil {
+				t.Error(err)
+			}
+			if disk.Used() != 1024 {
+				t.Errorf("used after overwrite = %d", disk.Used())
+			}
+			if !disk.Delete("scratch/data.bin") || disk.Used() != 0 {
+				t.Error("delete failed")
+			}
+			if _, err := disk.Read(p, "scratch/data.bin"); !storecommon.IsNotFound(err) {
+				t.Errorf("read after delete = %v", err)
+			}
+		}})
+	env.Run()
+	// 8 MB at 80 MB/s = 100ms + 8ms seek.
+	if elapsedWrite < 100*time.Millisecond || elapsedWrite > 150*time.Millisecond {
+		t.Fatalf("8MB write took %v, want ~108ms", elapsedWrite)
+	}
+}
+
+func TestLocalDiskCapacityEnforced(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := cloud.New(env, model.Default())
+	Deploy(c, "app", RoleConfig{Name: "w", Kind: WorkerRole, VM: model.ExtraSmall, Count: 1,
+		Run: func(ctx *Context) {
+			disk := ctx.Instance.Disk()
+			// Fake a nearly full disk by writing one huge file in chunks is
+			// slow; instead write a file at capacity boundary.
+			big := payload.Zero(disk.Capacity())
+			if err := disk.Write(ctx.Proc, "fill", big); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := disk.Write(ctx.Proc, "one-more", payload.Zero(1)); storecommon.CodeOf(err) != storecommon.CodeOutOfCapacity {
+				t.Errorf("over-capacity write = %v", err)
+			}
+		}})
+	env.Run()
+}
+
+func TestLocalDiskWipedOnRecycle(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := cloud.New(env, model.Default())
+	runs := 0
+	Deploy(c, "app", RoleConfig{Name: "w", Kind: WorkerRole, VM: model.Small, Count: 1,
+		Run: func(ctx *Context) {
+			runs++
+			disk := ctx.Instance.Disk()
+			if runs == 1 {
+				if err := disk.Write(ctx.Proc, "state", payload.String("ephemeral")); err != nil {
+					t.Error(err)
+				}
+				ctx.Instance.RequestSelfRecycle()
+				ctx.Checkpoint()
+			}
+			// Second incarnation: the disk must be empty.
+			if len(disk.List("")) != 0 || disk.Used() != 0 {
+				t.Error("local disk survived a recycle")
+			}
+		}})
+	env.Run()
+	if runs != 2 {
+		t.Fatalf("runs = %d", runs)
+	}
+}

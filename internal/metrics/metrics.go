@@ -1,0 +1,272 @@
+// Package metrics collects operation timings during experiments and
+// renders the paper's figures as aligned text tables and CSV. It is
+// deliberately simple: distributions keep raw samples (experiments produce
+// at most a few hundred thousand), and figures are series of (x, y)
+// points keyed by worker count.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Dist is an online distribution of durations. The zero value is ready to
+// use. Dist is not safe for concurrent use (the simulation is cooperative;
+// live-mode benchmarks keep one Dist per goroutine and merge).
+type Dist struct {
+	samples []time.Duration
+	sum     time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (d *Dist) Add(v time.Duration) {
+	d.samples = append(d.samples, v)
+	d.sum += v
+	d.sorted = false
+}
+
+// Merge folds other into d.
+func (d *Dist) Merge(other *Dist) {
+	d.samples = append(d.samples, other.samples...)
+	d.sum += other.sum
+	d.sorted = false
+}
+
+// Count returns the number of samples.
+func (d *Dist) Count() int { return len(d.samples) }
+
+// Total returns the sum of all samples.
+func (d *Dist) Total() time.Duration { return d.sum }
+
+// Mean returns the average sample, or 0 with no samples.
+func (d *Dist) Mean() time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / time.Duration(len(d.samples))
+}
+
+// Min returns the smallest sample.
+func (d *Dist) Min() time.Duration {
+	d.ensureSorted()
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.samples[0]
+}
+
+// Max returns the largest sample.
+func (d *Dist) Max() time.Duration {
+	d.ensureSorted()
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.samples[len(d.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank.
+func (d *Dist) Percentile(p float64) time.Duration {
+	d.ensureSorted()
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return d.samples[rank-1]
+}
+
+// Stddev returns the sample standard deviation.
+func (d *Dist) Stddev() time.Duration {
+	n := len(d.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(d.Mean())
+	var ss float64
+	for _, v := range d.samples {
+		diff := float64(v) - mean
+		ss += diff * diff
+	}
+	return time.Duration(math.Sqrt(ss / float64(n-1)))
+}
+
+func (d *Dist) ensureSorted() {
+	if d.sorted {
+		return
+	}
+	sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
+	d.sorted = true
+}
+
+// Summary renders a one-line distribution summary.
+func (d *Dist) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v max=%v",
+		d.Count(), d.Mean().Round(time.Microsecond),
+		d.Percentile(50).Round(time.Microsecond),
+		d.Percentile(95).Round(time.Microsecond),
+		d.Max().Round(time.Microsecond))
+}
+
+// Point is one figure data point.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Figure is the data behind one paper figure: multiple series over a
+// shared x axis.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddPoint appends (x, y) to the named series, creating it on first use.
+func (f *Figure) AddPoint(series string, x, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Name == series {
+			f.Series[i].Add(x, y)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Name: series, Points: []Point{{X: x, Y: y}}})
+}
+
+// xs returns the sorted union of x values across series.
+func (f *Figure) xs() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, s := range f.Series {
+		for _, pt := range s.Points {
+			if !seen[pt.X] {
+				seen[pt.X] = true
+				out = append(out, pt.X)
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func (f *Figure) lookup(s Series, x float64) (float64, bool) {
+	for _, pt := range s.Points {
+		if pt.X == x {
+			return pt.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Render draws the figure as an aligned text table, one row per x value
+// and one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "(y: %s)\n", f.YLabel)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range f.xs() {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if y, ok := f.lookup(s, x); ok {
+				row = append(row, fmt.Sprintf("%.3f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&b, rows)
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	b.WriteString(strings.Join(cols, ","))
+	b.WriteByte('\n')
+	for _, x := range f.xs() {
+		fields := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if y, ok := f.lookup(s, x); ok {
+				fields = append(fields, fmt.Sprintf("%g", y))
+			} else {
+				fields = append(fields, "")
+			}
+		}
+		b.WriteString(strings.Join(fields, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+func writeAligned(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// MBps converts (bytes, elapsed) into MB/s.
+func MBps(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / elapsed.Seconds() / (1 << 20)
+}
+
+// Seconds converts a duration to float seconds (figure-friendly).
+func Seconds(d time.Duration) float64 { return d.Seconds() }

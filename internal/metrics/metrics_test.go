@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDistBasics(t *testing.T) {
+	var d Dist
+	if d.Count() != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 {
+		t.Fatal("zero Dist not empty")
+	}
+	for _, v := range []time.Duration{3, 1, 2} {
+		d.Add(v * time.Second)
+	}
+	if d.Count() != 3 || d.Total() != 6*time.Second {
+		t.Fatalf("count/total = %d/%v", d.Count(), d.Total())
+	}
+	if d.Mean() != 2*time.Second {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	if d.Min() != time.Second || d.Max() != 3*time.Second {
+		t.Fatalf("min/max = %v/%v", d.Min(), d.Max())
+	}
+}
+
+func TestDistPercentiles(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(time.Duration(i))
+	}
+	if got := d.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := d.Percentile(95); got != 95 {
+		t.Fatalf("p95 = %v", got)
+	}
+	if got := d.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := d.Percentile(0.5); got != 1 {
+		t.Fatalf("p0.5 = %v", got)
+	}
+}
+
+func TestDistAddAfterSortedQuery(t *testing.T) {
+	var d Dist
+	d.Add(5)
+	_ = d.Min() // forces sort
+	d.Add(1)
+	if d.Min() != 1 {
+		t.Fatal("Add after sorted query not reflected")
+	}
+}
+
+func TestDistStddev(t *testing.T) {
+	var d Dist
+	for _, v := range []time.Duration{2, 4, 4, 4, 5, 5, 7, 9} {
+		d.Add(v * time.Second)
+	}
+	// Known sample stddev ~ 2.138 s.
+	if got := d.Stddev().Seconds(); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestDistMerge(t *testing.T) {
+	var a, b Dist
+	a.Add(1)
+	b.Add(3)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Total() != 4 {
+		t.Fatalf("merged = %d/%v", a.Count(), a.Total())
+	}
+}
+
+func TestDistPercentileProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var d Dist
+		vals := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			vals[i] = time.Duration(v)
+			d.Add(time.Duration(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		return d.Min() == vals[0] && d.Max() == vals[len(vals)-1] &&
+			d.Percentile(50) >= vals[0] && d.Percentile(50) <= vals[len(vals)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureRenderAndCSV(t *testing.T) {
+	var f Figure
+	f.Title = "Fig X"
+	f.XLabel = "workers"
+	f.YLabel = "seconds"
+	f.AddPoint("put", 1, 10)
+	f.AddPoint("put", 2, 5)
+	f.AddPoint("get", 1, 20)
+	out := f.Render()
+	for _, want := range []string{"Fig X", "workers", "put", "get", "10.000", "5.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// get has no point at x=2: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing placeholder for absent point:\n%s", out)
+	}
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "workers,put,get" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "1,10,20" || lines[2] != "2,5," {
+		t.Fatalf("csv rows = %q", lines[1:])
+	}
+}
+
+func TestFigureXsSortedUnion(t *testing.T) {
+	var f Figure
+	f.AddPoint("a", 4, 1)
+	f.AddPoint("a", 1, 1)
+	f.AddPoint("b", 2, 1)
+	xs := f.xs()
+	want := []float64{1, 2, 4}
+	if len(xs) != 3 {
+		t.Fatalf("xs = %v", xs)
+	}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("xs = %v", xs)
+		}
+	}
+}
+
+func TestMBps(t *testing.T) {
+	if got := MBps(100<<20, 2*time.Second); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("MBps = %v", got)
+	}
+	if MBps(1, 0) != 0 {
+		t.Fatal("zero elapsed should yield 0")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var d Dist
+	d.Add(time.Millisecond)
+	s := d.Summary()
+	if !strings.Contains(s, "n=1") || !strings.Contains(s, "mean=1ms") {
+		t.Fatalf("summary = %q", s)
+	}
+}

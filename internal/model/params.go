@@ -1,0 +1,379 @@
+package model
+
+import (
+	"time"
+
+	"azurebench/internal/storecommon"
+)
+
+// Params holds every service-time and capacity constant of the simulated
+// storage fabric. The defaults (Default) are calibrated so that the
+// paper's anchor measurements emerge from the queueing model rather than
+// being hard-coded per experiment:
+//
+//   - per-blob service rate 60 MB/s ⇒ page-blob upload saturates ≈56 MB/s
+//     (paper: 60 MB/s);
+//   - 30 ms per-block commit overhead ⇒ block-blob upload ≈21 MB/s (paper:
+//     21 MB/s);
+//   - 3 read replicas ⇒ whole-blob download ≈170 MB/s (paper: 165 MB/s),
+//     block-wise read ≈104 MB/s (paper: 104 MB/s), random page read
+//     ≈72 MB/s (paper: 71 MB/s);
+//   - 2 ms queue-op occupancy ⇒ the documented 500 msg/s per-queue target;
+//   - 4 table partition servers ⇒ "flat until 4 concurrent clients".
+//
+// Operation cost is split into occupancy (time the partition server is
+// held — this is what contention queues on) and latency (client-perceived
+// pipeline time that does not occupy the server).
+type Params struct {
+	// Network.
+	RTT time.Duration // client<->storage round trip per request
+
+	// Replication: writes pay (Replicas-1) pipeline hops of ReplHop each;
+	// reads are served by any replica.
+	Replicas int
+	ReplHop  time.Duration
+
+	// Blob service.
+	BlobServerRate        float64       // bytes/s a blob partition server moves
+	BlockWriteOverhead    time.Duration // PutBlock bookkeeping (commit-log append etc.)
+	PageWriteOverhead     time.Duration // PutPage in-place write bookkeeping
+	BlockReadOverhead     time.Duration // per sequential block GET
+	PageReadOverhead      time.Duration // per random page GET (page-index lookup)
+	BlockDownloadSetup    time.Duration // whole-blob GET, block blob
+	PageDownloadSetup     time.Duration // whole-blob GET, page blob (range assembly)
+	CommitBase            time.Duration // PutBlockList base cost
+	CommitPerBlock        time.Duration // PutBlockList per referenced block
+	ContainerOpOcc        time.Duration // create/delete container/queue/table
+	BlobReadReplicas      int           // replicas serving reads (= Replicas)
+	ServerConcurrency     int           // request slots per partition server
+	PerBlobThroughputBps  float64       // documented per-blob cap (= BlobServerRate)
+	AccountBandwidthBps   float64       // 3 GB/s account target
+	AccountOpsPerSec      float64       // 5000 tx/s account target
+	AccountBurst          float64       // token-bucket burst for account tx
+	AccountBandwidthBurst float64       // token-bucket burst for account bytes
+
+	// Queue service.
+	QueueOpsPerSec   float64       // documented 500 msg/s per-queue target
+	QueueBurst       float64       // token-bucket burst per queue
+	QueueByteRate    float64       // bytes/s through a queue server
+	QueuePutOcc      time.Duration // server occupancy per operation
+	QueuePeekOcc     time.Duration
+	QueueGetOcc      time.Duration
+	QueueDeleteOcc   time.Duration
+	QueuePutLat      time.Duration // client-perceived pipeline latency
+	QueuePeekLat     time.Duration
+	QueueGetLat      time.Duration
+	QueueDeleteLat   time.Duration
+	QueueScanPerMsg  time.Duration // Get/Peek cost per message resident in the queue
+	Quirk16KBGet     bool          // reproduce the paper's unexplained 16 KB Get anomaly
+	Quirk16KBPenalty time.Duration
+
+	// Table service.
+	TableServers       int // partition servers a table spreads over
+	PartitionOpsPerSec float64
+	PartitionBurst     float64
+	TableInsertOcc     time.Duration
+	TableQueryOcc      time.Duration
+	TableUpdateOcc     time.Duration
+	TableDeleteOcc     time.Duration
+	TableInsertRate    float64 // bytes/s
+	TableQueryRate     float64
+	TableUpdateRate    float64
+	TableInsertLat     time.Duration
+	TableQueryLat      time.Duration
+	TableUpdateLat     time.Duration
+	TableDeleteLat     time.Duration
+
+	// Caching service (the §II caching artifact, future work in the paper).
+	CacheNodes        int
+	CacheNodeCapacity int64
+	CacheGetOcc       time.Duration
+	CachePutOcc       time.Duration
+	CacheByteRate     float64 // bytes/s through a cache node (RAM speed)
+	CacheLat          time.Duration
+
+	// Compute fabric provisioning (paper future work: "resource
+	// provisioning times and application deployment timings").
+	VMBootBase     time.Duration // minimum instance provisioning time
+	VMBootJitter   time.Duration // uniform extra boot time per instance
+	PlacementDelay time.Duration // fabric-controller serial placement cost
+
+	// Client behaviour.
+	RequestOverhead time.Duration // serialization/auth signing on the VM
+	ThinkJitter     float64       // multiplicative jitter on think-time sleeps
+	RetryBackoff    time.Duration // sleep before retrying a ServerBusy op (paper: 1 s)
+}
+
+// Default returns the calibrated parameter set.
+func Default() Params {
+	return Params{
+		RTT: 2 * time.Millisecond,
+
+		Replicas: storecommon.Replicas,
+		ReplHop:  500 * time.Microsecond,
+
+		BlobServerRate:        60 * storecommon.MB,
+		BlockWriteOverhead:    30 * time.Millisecond,
+		PageWriteOverhead:     200 * time.Microsecond,
+		BlockReadOverhead:     12 * time.Millisecond,
+		PageReadOverhead:      25 * time.Millisecond,
+		BlockDownloadSetup:    100 * time.Millisecond,
+		PageDownloadSetup:     500 * time.Millisecond,
+		CommitBase:            10 * time.Millisecond,
+		CommitPerBlock:        50 * time.Microsecond,
+		ContainerOpOcc:        5 * time.Millisecond,
+		BlobReadReplicas:      storecommon.Replicas,
+		ServerConcurrency:     1,
+		PerBlobThroughputBps:  storecommon.PerBlobThroughputBps,
+		AccountBandwidthBps:   storecommon.AccountBandwidthBps,
+		AccountOpsPerSec:      storecommon.AccountOpsPerSec,
+		AccountBurst:          500,
+		AccountBandwidthBurst: 256 * storecommon.MB,
+
+		QueueOpsPerSec: storecommon.QueueOpsPerSec,
+		QueueBurst:     50,
+		QueueByteRate:  50 * storecommon.MB,
+		// Occupancies are set slightly below the 500 ops/s limiter period
+		// (writes pay +1 ms replication), so the documented scalability
+		// target — not raw server speed — is what caps a hot queue.
+		QueuePutOcc:      800 * time.Microsecond,
+		QueuePeekOcc:     1400 * time.Microsecond,
+		QueueGetOcc:      900 * time.Microsecond,
+		QueueDeleteOcc:   600 * time.Microsecond,
+		QueuePutLat:      20 * time.Millisecond,
+		QueuePeekLat:     12 * time.Millisecond,
+		QueueGetLat:      25 * time.Millisecond,
+		QueueDeleteLat:   15 * time.Millisecond,
+		QueueScanPerMsg:  200 * time.Nanosecond,
+		Quirk16KBGet:     true,
+		Quirk16KBPenalty: 25 * time.Millisecond,
+
+		TableServers:       4,
+		PartitionOpsPerSec: storecommon.PartitionOpsPerSec,
+		PartitionBurst:     50,
+		TableInsertOcc:     2 * time.Millisecond,
+		TableQueryOcc:      1500 * time.Microsecond,
+		TableUpdateOcc:     3 * time.Millisecond,
+		TableDeleteOcc:     2 * time.Millisecond,
+		TableInsertRate:    3 * storecommon.MB,
+		TableQueryRate:     6 * storecommon.MB,
+		TableUpdateRate:    2 * storecommon.MB,
+		TableInsertLat:     15 * time.Millisecond,
+		TableQueryLat:      10 * time.Millisecond,
+		TableUpdateLat:     18 * time.Millisecond,
+		TableDeleteLat:     12 * time.Millisecond,
+
+		CacheNodes:        4,
+		CacheNodeCapacity: 128 * storecommon.MB,
+		CacheGetOcc:       300 * time.Microsecond,
+		CachePutOcc:       400 * time.Microsecond,
+		CacheByteRate:     1 * storecommon.GB,
+		CacheLat:          time.Millisecond,
+
+		VMBootBase:     6 * time.Minute,
+		VMBootJitter:   4 * time.Minute,
+		PlacementDelay: 2 * time.Second,
+
+		RequestOverhead: 300 * time.Microsecond,
+		ThinkJitter:     0.10,
+		RetryBackoff:    time.Second,
+	}
+}
+
+// CacheOcc is the cache-node occupancy of an operation moving size bytes.
+func (p Params) CacheOcc(write bool, size int64) time.Duration {
+	base := p.CacheGetOcc
+	if write {
+		base = p.CachePutOcc
+	}
+	return base + rate(size, p.CacheByteRate)
+}
+
+// rate converts a byte count over a bytes/s rate into a duration.
+func rate(size int64, bps float64) time.Duration {
+	if size <= 0 || bps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / bps * float64(time.Second))
+}
+
+// replCost is the extra occupancy a mutation pays for synchronous
+// replication to the remaining replicas.
+func (p Params) replCost() time.Duration {
+	if p.Replicas <= 1 {
+		return 0
+	}
+	return time.Duration(p.Replicas-1) * p.ReplHop
+}
+
+// --- Blob occupancy ---
+
+// BlockPutOcc is the server occupancy of a PutBlock of size bytes.
+func (p Params) BlockPutOcc(size int64) time.Duration {
+	return p.BlockWriteOverhead + rate(size, p.BlobServerRate) + p.replCost()
+}
+
+// PagePutOcc is the server occupancy of a PutPage of size bytes.
+func (p Params) PagePutOcc(size int64) time.Duration {
+	return p.PageWriteOverhead + rate(size, p.BlobServerRate) + p.replCost()
+}
+
+// BlockGetOcc is the replica occupancy of a single sequential block read.
+func (p Params) BlockGetOcc(size int64) time.Duration {
+	return p.BlockReadOverhead + rate(size, p.BlobServerRate)
+}
+
+// PageGetOcc is the replica occupancy of a random page read (includes the
+// page-index lookup that makes random access costlier than sequential).
+func (p Params) PageGetOcc(size int64) time.Duration {
+	return p.PageReadOverhead + rate(size, p.BlobServerRate)
+}
+
+// DownloadOcc is the replica occupancy of a whole-blob download.
+func (p Params) DownloadOcc(page bool, size int64) time.Duration {
+	setup := p.BlockDownloadSetup
+	if page {
+		setup = p.PageDownloadSetup
+	}
+	return setup + rate(size, p.BlobServerRate)
+}
+
+// CommitOcc is the occupancy of a PutBlockList over n blocks.
+func (p Params) CommitOcc(n int) time.Duration {
+	return p.CommitBase + time.Duration(n)*p.CommitPerBlock + p.replCost()
+}
+
+// DeleteBlobOcc is the occupancy of a DeleteBlob.
+func (p Params) DeleteBlobOcc() time.Duration {
+	return p.ContainerOpOcc + p.replCost()
+}
+
+// --- Queue occupancy/latency ---
+
+// QueueOp names a queue operation for cost lookup.
+type QueueOp int
+
+// Queue operations.
+const (
+	QPut QueueOp = iota
+	QPeek
+	QGet
+	QDelete
+)
+
+// String names the operation.
+func (op QueueOp) String() string {
+	switch op {
+	case QPut:
+		return "Put"
+	case QPeek:
+		return "Peek"
+	case QGet:
+		return "Get"
+	case QDelete:
+		return "Delete"
+	}
+	return "?"
+}
+
+// QueueOcc is the queue server occupancy of op on a message of size bytes
+// while qlen messages are resident.
+func (p Params) QueueOcc(op QueueOp, size int64, qlen int) time.Duration {
+	d := rate(size, p.QueueByteRate)
+	switch op {
+	case QPut:
+		d += p.QueuePutOcc + p.replCost()
+	case QPeek:
+		d += p.QueuePeekOcc + time.Duration(qlen)*p.QueueScanPerMsg
+	case QGet:
+		d += p.QueueGetOcc + p.replCost() + time.Duration(qlen)*p.QueueScanPerMsg
+	case QDelete:
+		d += p.QueueDeleteOcc + p.replCost()
+	}
+	return d
+}
+
+// QueueLat is the non-occupying pipeline latency of op, including the
+// 16 KB Get anomaly the paper reports but cannot explain (reproduced here
+// as a documented emulation quirk, switchable via Quirk16KBGet).
+func (p Params) QueueLat(op QueueOp, size int64) time.Duration {
+	var d time.Duration
+	switch op {
+	case QPut:
+		d = p.QueuePutLat
+	case QPeek:
+		d = p.QueuePeekLat
+	case QGet:
+		d = p.QueueGetLat
+		if p.Quirk16KBGet && size > 8*storecommon.KB && size <= 16*storecommon.KB {
+			d += p.Quirk16KBPenalty
+		}
+	case QDelete:
+		d = p.QueueDeleteLat
+	}
+	return d
+}
+
+// --- Table occupancy/latency ---
+
+// TableOp names a table operation for cost lookup.
+type TableOp int
+
+// Table operations.
+const (
+	TInsert TableOp = iota
+	TQuery
+	TUpdate
+	TDelete
+)
+
+// String names the operation.
+func (op TableOp) String() string {
+	switch op {
+	case TInsert:
+		return "Insert"
+	case TQuery:
+		return "Query"
+	case TUpdate:
+		return "Update"
+	case TDelete:
+		return "Delete"
+	}
+	return "?"
+}
+
+// TableOcc is the partition-server occupancy of op on an entity of size
+// bytes.
+func (p Params) TableOcc(op TableOp, size int64) time.Duration {
+	switch op {
+	case TInsert:
+		return p.TableInsertOcc + rate(size, p.TableInsertRate) + p.replCost()
+	case TQuery:
+		return p.TableQueryOcc + rate(size, p.TableQueryRate)
+	case TUpdate:
+		return p.TableUpdateOcc + rate(size, p.TableUpdateRate) + p.replCost()
+	case TDelete:
+		return p.TableDeleteOcc + p.replCost()
+	}
+	return 0
+}
+
+// TableLat is the non-occupying pipeline latency of op.
+func (p Params) TableLat(op TableOp) time.Duration {
+	switch op {
+	case TInsert:
+		return p.TableInsertLat
+	case TQuery:
+		return p.TableQueryLat
+	case TUpdate:
+		return p.TableUpdateLat
+	case TDelete:
+		return p.TableDeleteLat
+	}
+	return 0
+}
+
+// Xfer is the client NIC transfer time for size bytes at nicBps.
+func Xfer(size int64, nicBps int64) time.Duration {
+	return rate(size, float64(nicBps))
+}

@@ -1,0 +1,187 @@
+// Package netmodel provides an analytical max-min fair-share bandwidth
+// model of the datacenter network. The DES in package cloud uses FIFO
+// store-and-forward links (simple and deterministic); this package
+// computes the fluid-flow max-min allocation for the same topology, so the
+// two can be cross-checked — the "netmodel" ablation experiment in package
+// core compares the DES-measured aggregate blob throughput against the
+// fair-share prediction at every worker count.
+package netmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Link is a capacity-constrained network resource (bytes/second).
+type Link struct {
+	Name     string
+	Capacity float64
+}
+
+// Flow is one end-to-end transfer crossing a set of links. Demand bounds
+// the rate the flow can use (0 = unbounded). After Solve, Rate holds the
+// allocation.
+type Flow struct {
+	Name   string
+	Links  []*Link
+	Demand float64
+	Rate   float64
+}
+
+// Solve computes the max-min fair allocation by progressive filling: all
+// unfrozen flows increase at the same pace; when a link saturates, every
+// flow crossing it freezes; a flow also freezes when it reaches its
+// demand. The algorithm runs in O(iterations × flows × links) with at most
+// one freeze event per iteration.
+func Solve(flows []*Flow) error {
+	for _, f := range flows {
+		if len(f.Links) == 0 {
+			return fmt.Errorf("netmodel: flow %q crosses no links", f.Name)
+		}
+		for _, l := range f.Links {
+			if l.Capacity <= 0 {
+				return fmt.Errorf("netmodel: link %q has non-positive capacity", l.Name)
+			}
+		}
+		f.Rate = 0
+	}
+
+	residual := map[*Link]float64{}
+	active := map[*Link]int{} // unfrozen flows per link
+	for _, f := range flows {
+		seen := map[*Link]bool{}
+		for _, l := range f.Links {
+			if seen[l] {
+				continue // a flow crossing a link twice still counts once
+			}
+			seen[l] = true
+			if _, ok := residual[l]; !ok {
+				residual[l] = l.Capacity
+			}
+			active[l]++
+		}
+	}
+
+	frozen := make([]bool, len(flows))
+	remaining := len(flows)
+	for remaining > 0 {
+		// Smallest uniform increment that saturates a link or meets a
+		// demand.
+		delta := math.Inf(1)
+		for l, count := range active {
+			if count > 0 {
+				if d := residual[l] / float64(count); d < delta {
+					delta = d
+				}
+			}
+		}
+		for i, f := range flows {
+			if !frozen[i] && f.Demand > 0 {
+				if d := f.Demand - f.Rate; d < delta {
+					delta = d
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			return fmt.Errorf("netmodel: no progress possible with %d flows unfrozen", remaining)
+		}
+
+		// Apply the increment.
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			f.Rate += delta
+			for _, l := range uniqueLinks(f) {
+				residual[l] -= delta
+			}
+		}
+		// Freeze flows at saturated links or met demands.
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			stop := f.Demand > 0 && f.Rate >= f.Demand-1e-9
+			if !stop {
+				for _, l := range uniqueLinks(f) {
+					if residual[l] <= 1e-9 {
+						stop = true
+						break
+					}
+				}
+			}
+			if stop {
+				frozen[i] = true
+				remaining--
+				for _, l := range uniqueLinks(f) {
+					active[l]--
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func uniqueLinks(f *Flow) []*Link {
+	if len(f.Links) <= 1 {
+		return f.Links
+	}
+	seen := map[*Link]bool{}
+	out := f.Links[:0:0]
+	for _, l := range f.Links {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Aggregate sums the allocated rates.
+func Aggregate(flows []*Flow) float64 {
+	var sum float64
+	for _, f := range flows {
+		sum += f.Rate
+	}
+	return sum
+}
+
+// Utilization returns each link's load fraction after Solve, sorted by
+// link name (diagnostics).
+func Utilization(flows []*Flow) []LinkLoad {
+	load := map[*Link]float64{}
+	for _, f := range flows {
+		for _, l := range uniqueLinks(f) {
+			load[l] += f.Rate
+		}
+	}
+	var out []LinkLoad
+	for l, used := range load {
+		out = append(out, LinkLoad{Link: l, Used: used, Fraction: used / l.Capacity})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link.Name < out[j].Link.Name })
+	return out
+}
+
+// LinkLoad is one link's post-solve load.
+type LinkLoad struct {
+	Link     *Link
+	Used     float64
+	Fraction float64
+}
+
+// BlobDownloadScenario builds the fair-share model of the paper's Fig. 4
+// download phase: w client flows, each crossing its own NIC link and a
+// shared replica pool of readReplicas × perBlobBps, plus the account
+// bandwidth cap.
+func BlobDownloadScenario(workers int, nicBps, perBlobBps, accountBps float64, readReplicas int) []*Flow {
+	pool := &Link{Name: "replica-pool", Capacity: float64(readReplicas) * perBlobBps}
+	account := &Link{Name: "account", Capacity: accountBps}
+	flows := make([]*Flow, workers)
+	for i := range flows {
+		nic := &Link{Name: fmt.Sprintf("nic-%d", i), Capacity: nicBps}
+		flows[i] = &Flow{Name: fmt.Sprintf("worker-%d", i), Links: []*Link{nic, pool, account}}
+	}
+	return flows
+}

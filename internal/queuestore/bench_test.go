@@ -1,0 +1,69 @@
+package queuestore
+
+import (
+	"testing"
+	"time"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/vclock"
+)
+
+func BenchmarkPutGetDeleteCycle(b *testing.B) {
+	s := New(vclock.Real{})
+	if err := s.CreateQueue("bench"); err != nil {
+		b.Fatal(err)
+	}
+	body := payload.Synthetic(1, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put("bench", body, 0); err != nil {
+			b.Fatal(err)
+		}
+		msg, ok, err := s.GetOne("bench", time.Minute)
+		if err != nil || !ok {
+			b.Fatal("get failed")
+		}
+		if err := s.Delete("bench", msg.ID, msg.PopReceipt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeekWithDeepQueue(b *testing.B) {
+	s := New(vclock.Real{})
+	if err := s.CreateQueue("bench"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if _, err := s.Put("bench", payload.Zero(64), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := s.PeekOne("bench"); err != nil || !ok {
+			b.Fatal("peek failed")
+		}
+	}
+}
+
+func BenchmarkApproximateCount(b *testing.B) {
+	s := New(vclock.Real{})
+	if err := s.CreateQueue("bench"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := s.Put("bench", payload.Zero(64), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ApproximateCount("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package queuestore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/vclock"
+)
+
+// TestConcurrentProducersConsumers is the live-mode safety test: many
+// producers and consumers on one queue; every message is consumed exactly
+// once (visibility timeouts long enough that no message reappears). Run
+// with -race.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	s := New(vclock.Real{})
+	if err := s.CreateQueue("jobs"); err != nil {
+		t.Fatal(err)
+	}
+	const producers, perProducer, consumers = 8, 50, 8
+	total := producers * perProducer
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				body := payload.String(fmt.Sprintf("p%d-m%d", p, i))
+				if _, err := s.Put("jobs", body, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	var consumed sync.Map
+	var count atomic.Int64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for count.Load() < int64(total) {
+				msg, ok, err := s.GetOne("jobs", time.Hour)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					continue // producers may still be filling
+				}
+				key := string(msg.Body.Materialize())
+				if _, dup := consumed.LoadOrStore(key, true); dup {
+					t.Errorf("message %s consumed twice", key)
+					return
+				}
+				if err := s.Delete("jobs", msg.ID, msg.PopReceipt); err != nil {
+					t.Error(err)
+					return
+				}
+				count.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := count.Load(); got != int64(total) {
+		t.Fatalf("consumed %d, want %d", got, total)
+	}
+	if n, _ := s.ApproximateCount("jobs"); n != 0 {
+		t.Fatalf("%d messages left over", n)
+	}
+}
+
+// TestConcurrentGetNeverDoubleDelivers: racing consumers on a small pool
+// of messages must never hold the same message simultaneously.
+func TestConcurrentGetNeverDoubleDelivers(t *testing.T) {
+	s := New(vclock.Real{})
+	if err := s.CreateQueue("jobs"); err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 40
+	for i := 0; i < msgs; i++ {
+		if _, err := s.Put("jobs", payload.String(fmt.Sprintf("m%d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	ids := make(chan string, msgs*2)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				msg, ok, err := s.GetOne("jobs", time.Hour)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					return
+				}
+				ids <- msg.ID
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[string]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("message %s delivered to two consumers within its visibility window", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != msgs {
+		t.Fatalf("delivered %d distinct messages, want %d", len(seen), msgs)
+	}
+}
+
+// TestConcurrentQueueManagement hammers create/delete/list from multiple
+// goroutines.
+func TestConcurrentQueueManagement(t *testing.T) {
+	s := New(vclock.Real{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("queue-%d", g)
+			for i := 0; i < 25; i++ {
+				if err := s.CreateQueue(name); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Put(name, payload.String("x"), 0); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = s.ListQueues("queue-")
+				if err := s.DeleteQueue(name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.ListQueues(""); len(got) != 0 {
+		t.Fatalf("leftover queues: %v", got)
+	}
+}
+
+// TestDeleteRaceWithReappearance: if a consumer is too slow (visibility
+// expired and another consumer re-got the message), its delete must fail
+// with PopReceiptMismatch rather than deleting the other consumer's work.
+func TestDeleteRaceWithReappearance(t *testing.T) {
+	clk := &vclock.Manual{}
+	s := New(clk)
+	if err := s.CreateQueue("jobs"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("jobs", payload.String("task"), 0); err != nil {
+		t.Fatal(err)
+	}
+	slow, ok, _ := s.GetOne("jobs", time.Second)
+	if !ok {
+		t.Fatal("first get failed")
+	}
+	clk.Advance(2 * time.Second) // slow consumer's claim expires
+	fast, ok, _ := s.GetOne("jobs", time.Minute)
+	if !ok {
+		t.Fatal("reappeared message not claimable")
+	}
+	if err := s.Delete("jobs", slow.ID, slow.PopReceipt); storecommon.CodeOf(err) != storecommon.CodePopReceiptMismatch {
+		t.Fatalf("stale delete = %v, want PopReceiptMismatch", err)
+	}
+	if err := s.Delete("jobs", fast.ID, fast.PopReceipt); err != nil {
+		t.Fatalf("current holder's delete failed: %v", err)
+	}
+}

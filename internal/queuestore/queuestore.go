@@ -1,0 +1,412 @@
+// Package queuestore implements the Windows Azure Queue storage engine:
+// named queues of messages with insertion TTL, per-dequeue visibility
+// timeouts, pop receipts, Peek vs Get semantics, and (optionally) the
+// service's documented lack of a FIFO guarantee.
+//
+// The semantics the paper's benchmark leans on are all here: GetMessage
+// hides the message from other consumers for the visibility timeout and
+// must be followed by DeleteMessage; PeekMessage observes without hiding;
+// an undeleted message reappears; messages expire after their TTL (one
+// week in the October 2011 API, which obsoleted the two-hour limit the
+// paper calls out); and the approximate message count drives the queue
+// based barrier of Algorithm 2.
+package queuestore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/sim"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/vclock"
+)
+
+// Config tunes engine behaviour.
+type Config struct {
+	// NonFIFOWindow is the number of leading visible messages Get chooses
+	// from. 1 (the default via NewStore) yields strict FIFO; larger values
+	// emulate Azure's lack of ordering guarantee.
+	NonFIFOWindow int
+	// Seed feeds the deterministic PRNG used for non-FIFO selection.
+	Seed int64
+}
+
+// Store is an in-memory queue storage account. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	clock  vclock.Clock
+	cfg    Config
+	rng    *sim.Rand
+	queues map[string]*queue
+	popSeq uint64
+}
+
+type queue struct {
+	name     string
+	created  time.Time
+	metadata map[string]string
+	msgs     []*message
+	nextID   uint64
+}
+
+type message struct {
+	id           string
+	body         payload.Payload
+	inserted     time.Time
+	expires      time.Time
+	nextVisible  time.Time
+	dequeueCount int
+	popReceipt   string // valid while the message is invisible from a Get
+}
+
+// Message is the client-visible view of a queue message.
+type Message struct {
+	ID           string
+	Body         payload.Payload
+	Inserted     time.Time
+	Expires      time.Time
+	NextVisible  time.Time
+	DequeueCount int
+	// PopReceipt authorises Delete/Update; empty for peeked messages.
+	PopReceipt string
+}
+
+// New creates an empty queue store with strict FIFO delivery.
+func New(clock vclock.Clock) *Store {
+	return NewWithConfig(clock, Config{NonFIFOWindow: 1})
+}
+
+// NewWithConfig creates a queue store with explicit behaviour knobs.
+func NewWithConfig(clock vclock.Clock, cfg Config) *Store {
+	if cfg.NonFIFOWindow < 1 {
+		cfg.NonFIFOWindow = 1
+	}
+	return &Store{
+		clock:  clock,
+		cfg:    cfg,
+		rng:    sim.NewRand(cfg.Seed),
+		queues: map[string]*queue{},
+	}
+}
+
+// CreateQueue creates a queue; creating an existing queue fails with
+// QueueAlreadyExists.
+func (s *Store) CreateQueue(name string) error {
+	if err := storecommon.ValidateQueueName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.queues[name]; ok {
+		return storecommon.Errf(storecommon.CodeQueueAlreadyExists, 409, "queue %q already exists", name)
+	}
+	s.queues[name] = &queue{name: name, created: s.clock.Now()}
+	return nil
+}
+
+// CreateQueueIfNotExists creates name if absent; it reports whether a
+// queue was created.
+func (s *Store) CreateQueueIfNotExists(name string) (bool, error) {
+	err := s.CreateQueue(name)
+	if storecommon.IsConflict(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// DeleteQueue removes the queue and all its messages.
+func (s *Store) DeleteQueue(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.queues[name]; !ok {
+		return queueNotFound(name)
+	}
+	delete(s.queues, name)
+	return nil
+}
+
+// QueueExists reports whether the queue exists.
+func (s *Store) QueueExists(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.queues[name]
+	return ok
+}
+
+// ListQueues returns queue names with the given prefix, sorted.
+func (s *Store) ListQueues(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for name := range s.queues {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClearMessages removes all messages from the queue.
+func (s *Store) ClearMessages(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return queueNotFound(name)
+	}
+	q.msgs = nil
+	return nil
+}
+
+// Put inserts a message with the given time-to-live (0 means the maximum,
+// one week). The payload may be at most 48 KB, the usable fraction of the
+// 64 KB wire limit the paper measured.
+func (s *Store) Put(name string, body payload.Payload, ttl time.Duration) (Message, error) {
+	if body.Len() > storecommon.MaxMessagePayload {
+		return Message{}, storecommon.Errf(storecommon.CodeMessageTooLarge, 400,
+			"message of %d bytes exceeds the %d-byte usable payload", body.Len(), storecommon.MaxMessagePayload)
+	}
+	if ttl < 0 || ttl > storecommon.MaxMessageTTL {
+		return Message{}, storecommon.Errf(storecommon.CodeInvalidInput, 400, "ttl %v outside (0, %v]", ttl, storecommon.MaxMessageTTL)
+	}
+	if ttl == 0 {
+		ttl = storecommon.MaxMessageTTL
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return Message{}, queueNotFound(name)
+	}
+	now := s.clock.Now()
+	q.nextID++
+	m := &message{
+		id:          fmt.Sprintf("%s-msg-%d", name, q.nextID),
+		body:        body,
+		inserted:    now,
+		expires:     now.Add(ttl),
+		nextVisible: now,
+	}
+	q.msgs = append(q.msgs, m)
+	return m.view(), nil
+}
+
+// Get dequeues up to max visible messages, hiding each for the visibility
+// timeout (0 means the 30 s default). Each returned message carries a pop
+// receipt for Delete/Update. Fewer than max (possibly zero) messages are
+// returned when the queue has fewer visible messages.
+func (s *Store) Get(name string, max int, visibility time.Duration) ([]Message, error) {
+	if visibility == 0 {
+		visibility = storecommon.DefaultVisibilityTimeout
+	}
+	if visibility < 0 || visibility > storecommon.MaxVisibilityTimeout {
+		return nil, storecommon.Errf(storecommon.CodeInvalidVisibility, 400, "visibility %v out of range", visibility)
+	}
+	if max < 1 {
+		max = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return nil, queueNotFound(name)
+	}
+	now := s.clock.Now()
+	s.reap(q, now)
+	var out []Message
+	for len(out) < max {
+		m := s.pickVisible(q, now)
+		if m == nil {
+			break
+		}
+		m.dequeueCount++
+		m.nextVisible = now.Add(visibility)
+		s.popSeq++
+		m.popReceipt = fmt.Sprintf("pr-%d", s.popSeq)
+		out = append(out, m.view())
+	}
+	return out, nil
+}
+
+// GetOne dequeues a single message; ok is false when the queue is empty
+// (of visible messages).
+func (s *Store) GetOne(name string, visibility time.Duration) (Message, bool, error) {
+	msgs, err := s.Get(name, 1, visibility)
+	if err != nil || len(msgs) == 0 {
+		return Message{}, false, err
+	}
+	return msgs[0], true, nil
+}
+
+// Peek returns up to max visible messages without dequeuing them. Peeked
+// messages carry no pop receipt and their dequeue count is unchanged.
+func (s *Store) Peek(name string, max int) ([]Message, error) {
+	if max < 1 {
+		max = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return nil, queueNotFound(name)
+	}
+	now := s.clock.Now()
+	s.reap(q, now)
+	var out []Message
+	for _, m := range q.msgs {
+		if len(out) >= max {
+			break
+		}
+		if !m.nextVisible.After(now) {
+			v := m.view()
+			v.PopReceipt = ""
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// PeekOne peeks a single message; ok is false when no message is visible.
+func (s *Store) PeekOne(name string) (Message, bool, error) {
+	msgs, err := s.Peek(name, 1)
+	if err != nil || len(msgs) == 0 {
+		return Message{}, false, err
+	}
+	return msgs[0], true, nil
+}
+
+// Delete removes a previously dequeued message. The pop receipt must be
+// the one issued by the most recent Get and the message must not have
+// become visible and been re-dequeued since.
+func (s *Store) Delete(name, msgID, popReceipt string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return queueNotFound(name)
+	}
+	now := s.clock.Now()
+	s.reap(q, now)
+	for i, m := range q.msgs {
+		if m.id != msgID {
+			continue
+		}
+		if m.popReceipt == "" || m.popReceipt != popReceipt {
+			return storecommon.Errf(storecommon.CodePopReceiptMismatch, 400, "pop receipt mismatch for %q", msgID)
+		}
+		q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+		return nil
+	}
+	return storecommon.Errf(storecommon.CodeMessageNotFound, 404, "message %q not found", msgID)
+}
+
+// Update replaces the body of a dequeued message and resets its visibility
+// timeout, returning the new pop receipt (the 2011-era Update Message
+// API). The supplied pop receipt must be current.
+func (s *Store) Update(name, msgID, popReceipt string, body payload.Payload, visibility time.Duration) (Message, error) {
+	if body.Len() > storecommon.MaxMessagePayload {
+		return Message{}, storecommon.Errf(storecommon.CodeMessageTooLarge, 400, "updated message too large")
+	}
+	if visibility == 0 {
+		visibility = storecommon.DefaultVisibilityTimeout
+	}
+	if visibility < 0 || visibility > storecommon.MaxVisibilityTimeout {
+		return Message{}, storecommon.Errf(storecommon.CodeInvalidVisibility, 400, "visibility %v out of range", visibility)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return Message{}, queueNotFound(name)
+	}
+	now := s.clock.Now()
+	s.reap(q, now)
+	for _, m := range q.msgs {
+		if m.id != msgID {
+			continue
+		}
+		if m.popReceipt == "" || m.popReceipt != popReceipt {
+			return Message{}, storecommon.Errf(storecommon.CodePopReceiptMismatch, 400, "pop receipt mismatch for %q", msgID)
+		}
+		m.body = body
+		m.nextVisible = now.Add(visibility)
+		s.popSeq++
+		m.popReceipt = fmt.Sprintf("pr-%d", s.popSeq)
+		return m.view(), nil
+	}
+	return Message{}, storecommon.Errf(storecommon.CodeMessageNotFound, 404, "message %q not found", msgID)
+}
+
+// ApproximateCount returns the approximate number of messages in the
+// queue, including currently invisible ones — the semantics the paper's
+// queue-based barrier (Algorithm 2) relies on.
+func (s *Store) ApproximateCount(name string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return 0, queueNotFound(name)
+	}
+	s.reap(q, s.clock.Now())
+	return len(q.msgs), nil
+}
+
+// pickVisible selects the next message to dequeue: the head of the visible
+// messages, or — when the non-FIFO window is larger than one — a random
+// choice among the first window visible messages, emulating Azure's lack
+// of a FIFO guarantee.
+func (s *Store) pickVisible(q *queue, now time.Time) *message {
+	var window []*message
+	for _, m := range q.msgs {
+		if m.nextVisible.After(now) {
+			continue
+		}
+		window = append(window, m)
+		if len(window) == s.cfg.NonFIFOWindow {
+			break
+		}
+	}
+	if len(window) == 0 {
+		return nil
+	}
+	return window[s.rng.Intn(len(window))]
+}
+
+// reap drops expired messages.
+func (s *Store) reap(q *queue, now time.Time) {
+	kept := q.msgs[:0]
+	for _, m := range q.msgs {
+		if m.expires.After(now) {
+			kept = append(kept, m)
+		}
+	}
+	for i := len(kept); i < len(q.msgs); i++ {
+		q.msgs[i] = nil
+	}
+	q.msgs = kept
+}
+
+func (m *message) view() Message {
+	return Message{
+		ID:           m.id,
+		Body:         m.body,
+		Inserted:     m.inserted,
+		Expires:      m.expires,
+		NextVisible:  m.nextVisible,
+		DequeueCount: m.dequeueCount,
+		PopReceipt:   m.popReceipt,
+	}
+}
+
+func queueNotFound(name string) error {
+	return storecommon.Errf(storecommon.CodeQueueNotFound, 404, "queue %q not found", name)
+}

@@ -1,0 +1,115 @@
+package queuestore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/vclock"
+)
+
+// TestQuickAgainstReferenceModel drives the engine with random operation
+// sequences and cross-checks observable state against a trivial reference
+// model. The invariants checked after every step:
+//
+//   - ApproximateCount matches the reference's live-message count;
+//   - a Get never returns a message the reference says is invisible;
+//   - messages the reference says are expired are never returned.
+func TestQuickAgainstReferenceModel(t *testing.T) {
+	type op struct {
+		Kind    uint8 // 0 put, 1 get, 2 delete-last, 3 advance clock, 4 peek
+		Arg     uint8
+		Visible uint8
+	}
+	f := func(ops []op) bool {
+		clk := &vclock.Manual{}
+		s := New(clk)
+		if err := s.CreateQueue("modelq"); err != nil {
+			return false
+		}
+		type refMsg struct {
+			id          string
+			expires     time.Time
+			nextVisible time.Time
+		}
+		ref := map[string]*refMsg{}
+		var lastGet Message
+		haveGet := false
+		seq := 0
+
+		refCount := func(now time.Time) int {
+			n := 0
+			for _, m := range ref {
+				if m.expires.After(now) {
+					n++
+				}
+			}
+			return n
+		}
+
+		for _, o := range ops {
+			now := clk.Now()
+			switch o.Kind % 5 {
+			case 0: // put with a bounded ttl
+				ttl := time.Duration(o.Arg%10+1) * time.Minute
+				m, err := s.Put("modelq", payload.String(fmt.Sprintf("m%d", seq)), ttl)
+				if err != nil {
+					return false
+				}
+				seq++
+				ref[m.ID] = &refMsg{id: m.ID, expires: now.Add(ttl), nextVisible: now}
+			case 1: // get
+				vis := time.Duration(o.Visible%30+1) * time.Second
+				m, ok, err := s.GetOne("modelq", vis)
+				if err != nil {
+					return false
+				}
+				if ok {
+					r, known := ref[m.ID]
+					if !known {
+						return false // returned a deleted/expired message
+					}
+					if r.nextVisible.After(now) {
+						return false // returned an invisible message
+					}
+					if !r.expires.After(now) {
+						return false // returned an expired message
+					}
+					r.nextVisible = now.Add(vis)
+					lastGet, haveGet = m, true
+				}
+			case 2: // delete the last gotten message (may be stale)
+				if haveGet {
+					err := s.Delete("modelq", lastGet.ID, lastGet.PopReceipt)
+					if err == nil {
+						delete(ref, lastGet.ID)
+					}
+					// A failed delete (stale receipt / already expired) is
+					// legal; the reference keeps its view.
+					haveGet = false
+				}
+			case 3: // advance the clock
+				clk.Advance(time.Duration(o.Arg%60+1) * time.Second)
+				// Reference reaps lazily through refCount.
+			case 4: // peek must not change anything
+				before := refCount(clk.Now())
+				if _, _, err := s.PeekOne("modelq"); err != nil {
+					return false
+				}
+				if got, _ := s.ApproximateCount("modelq"); got != before {
+					return false
+				}
+			}
+			got, err := s.ApproximateCount("modelq")
+			if err != nil || got != refCount(clk.Now()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+package rest
+
+import (
+	"encoding/base64"
+	"encoding/xml"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/queuestore"
+	"azurebench/internal/storecommon"
+)
+
+// handleQueue routes /queue/{name}[/messages[/{id}]].
+func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
+	parts := pathParts(r, "/queue/")
+	if len(parts) == 0 {
+		// GET /queue/ enumerates queues.
+		if r.Method != http.MethodGet {
+			writeMethodNotAllowed(w, r)
+			return
+		}
+		if !s.throttle.allow("", "") {
+			writeBusy(w)
+			return
+		}
+		writeXML(w, http.StatusOK, queueListXML{
+			Queues: s.Queue.ListQueues(r.URL.Query().Get("prefix")),
+		})
+		return
+	}
+	name := parts[0]
+	if !s.throttle.allow(name, "") {
+		writeBusy(w)
+		return
+	}
+	if len(parts) == 1 {
+		s.handleQueueRoot(w, r, name)
+		return
+	}
+	s.handleQueueMessages(w, r, name, parts[1])
+}
+
+func (s *Server) handleQueueRoot(w http.ResponseWriter, r *http.Request, name string) {
+	switch {
+	case r.Method == http.MethodPut:
+		if err := s.Queue.CreateQueue(name); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case r.Method == http.MethodDelete:
+		if err := s.Queue.DeleteQueue(name); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case r.Method == http.MethodGet || r.Method == http.MethodHead:
+		// Queue metadata: the approximate message count header drives the
+		// paper's barrier.
+		n, err := s.Queue.ApproximateCount(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("x-ms-approximate-messages-count", strconv.Itoa(n))
+		w.WriteHeader(http.StatusOK)
+	default:
+		writeMethodNotAllowed(w, r)
+	}
+}
+
+type queueListXML struct {
+	XMLName xml.Name `xml:"EnumerationResults"`
+	Queues  []string `xml:"Queues>Queue>Name"`
+}
+
+// queueMessageXML is the Put/Update Message body.
+type queueMessageXML struct {
+	XMLName     xml.Name `xml:"QueueMessage"`
+	MessageText string   `xml:"MessageText"`
+}
+
+// queueMessagesListXML is the Get/Peek Messages response.
+type queueMessagesListXML struct {
+	XMLName  xml.Name          `xml:"QueueMessagesList"`
+	Messages []queueMessageOut `xml:"QueueMessage"`
+}
+
+type queueMessageOut struct {
+	MessageID       string `xml:"MessageId"`
+	InsertionTime   string `xml:"InsertionTime"`
+	ExpirationTime  string `xml:"ExpirationTime"`
+	PopReceipt      string `xml:"PopReceipt,omitempty"`
+	TimeNextVisible string `xml:"TimeNextVisible,omitempty"`
+	DequeueCount    int    `xml:"DequeueCount"`
+	MessageText     string `xml:"MessageText"`
+}
+
+func (s *Server) handleQueueMessages(w http.ResponseWriter, r *http.Request, name, sub string) {
+	q := r.URL.Query()
+	switch {
+	case sub == "messages" && r.Method == http.MethodPost:
+		s.putMessage(w, r, name)
+	case sub == "messages" && r.Method == http.MethodGet && q.Get("peekonly") == "true":
+		max := intOr(q.Get("numofmessages"), 1)
+		msgs, err := s.Queue.Peek(name, max)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeXML(w, http.StatusOK, messagesOut(msgs))
+	case sub == "messages" && r.Method == http.MethodGet:
+		max := intOr(q.Get("numofmessages"), 1)
+		vis := time.Duration(intOr(q.Get("visibilitytimeout"), 0)) * time.Second
+		msgs, err := s.Queue.Get(name, max, vis)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeXML(w, http.StatusOK, messagesOut(msgs))
+	case sub == "messages" && r.Method == http.MethodDelete:
+		if err := s.Queue.ClearMessages(name); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case r.Method == http.MethodDelete: // messages/{id}
+		id := sub[len("messages/"):]
+		if err := s.Queue.Delete(name, id, q.Get("popreceipt")); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case r.Method == http.MethodPut: // messages/{id}: Update Message
+		id := sub[len("messages/"):]
+		body, err := decodeMessageBody(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		vis := time.Duration(intOr(q.Get("visibilitytimeout"), 0)) * time.Second
+		msg, err := s.Queue.Update(name, id, q.Get("popreceipt"), body, vis)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("x-ms-popreceipt", msg.PopReceipt)
+		w.Header().Set("x-ms-time-next-visible", msg.NextVisible.UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeMethodNotAllowed(w, r)
+	}
+}
+
+func (s *Server) putMessage(w http.ResponseWriter, r *http.Request, name string) {
+	body, err := decodeMessageBody(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ttl := time.Duration(intOr(r.URL.Query().Get("messagettl"), 0)) * time.Second
+	if _, err := s.Queue.Put(name, body, ttl); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func decodeMessageBody(r *http.Request) (payload.Payload, error) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 2*storecommon.MaxMessageSize))
+	if err != nil {
+		return payload.Payload{}, storecommon.Errf(storecommon.CodeInvalidInput, 400, "reading body: %v", err)
+	}
+	var msg queueMessageXML
+	if err := xml.Unmarshal(raw, &msg); err != nil {
+		return payload.Payload{}, storecommon.Errf(storecommon.CodeInvalidInput, 400, "bad message XML: %v", err)
+	}
+	data, err := base64.StdEncoding.DecodeString(msg.MessageText)
+	if err != nil {
+		return payload.Payload{}, storecommon.Errf(storecommon.CodeInvalidInput, 400, "message text is not base64: %v", err)
+	}
+	return payload.Bytes(data), nil
+}
+
+func messagesOut(msgs []queuestore.Message) queueMessagesListXML {
+	var out queueMessagesListXML
+	for _, m := range msgs {
+		out.Messages = append(out.Messages, queueMessageOut{
+			MessageID:       m.ID,
+			InsertionTime:   m.Inserted.UTC().Format(http.TimeFormat),
+			ExpirationTime:  m.Expires.UTC().Format(http.TimeFormat),
+			PopReceipt:      m.PopReceipt,
+			TimeNextVisible: m.NextVisible.UTC().Format(http.TimeFormat),
+			DequeueCount:    m.DequeueCount,
+			MessageText:     base64.StdEncoding.EncodeToString(m.Body.Materialize()),
+		})
+	}
+	return out
+}
+
+func intOr(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}

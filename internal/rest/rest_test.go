@@ -1,0 +1,161 @@
+package rest
+
+import (
+	"encoding/xml"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func doReq(t *testing.T, srv *Server, method, path string, headers map[string]string, body string) *http.Response {
+	t.Helper()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	req, err := http.NewRequest(method, hs.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	resp := doReq(t, NewServer(Options{}), http.MethodGet, "/healthz", nil, "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestVersionHeaderAlwaysPresent(t *testing.T) {
+	resp := doReq(t, NewServer(Options{}), http.MethodGet, "/healthz", nil, "")
+	if got := resp.Header.Get("x-ms-version"); got != "2011-08-18" {
+		t.Fatalf("x-ms-version = %q", got)
+	}
+}
+
+func TestErrorBodyIsAzureXML(t *testing.T) {
+	resp := doReq(t, NewServer(Options{}), http.MethodGet, "/blob/absent/blob.bin", nil, "")
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("x-ms-error-code"); got != "ContainerNotFound" {
+		t.Fatalf("x-ms-error-code = %q", got)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	var e struct {
+		XMLName xml.Name `xml:"Error"`
+		Code    string   `xml:"Code"`
+		Message string   `xml:"Message"`
+	}
+	if err := xml.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("error body is not XML: %v (%q)", err, raw)
+	}
+	if e.Code != "ContainerNotFound" || e.Message == "" {
+		t.Fatalf("error body = %+v", e)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := NewServer(Options{})
+	if err := srv.Queue.CreateQueue("q-1"); err != nil {
+		t.Fatal(err)
+	}
+	resp := doReq(t, srv, http.MethodPatch, "/queue/q-1", nil, "")
+	if resp.StatusCode != 405 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("x-ms-error-code"); got != "UnsupportedHttpVerb" {
+		t.Fatalf("error code = %q", got)
+	}
+}
+
+func TestBadMessageXMLRejected(t *testing.T) {
+	srv := NewServer(Options{})
+	if err := srv.Queue.CreateQueue("q-1"); err != nil {
+		t.Fatal(err)
+	}
+	resp := doReq(t, srv, http.MethodPost, "/queue/q-1/messages", nil, "<not-xml")
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestBadBase64Rejected(t *testing.T) {
+	srv := NewServer(Options{})
+	if err := srv.Queue.CreateQueue("q-1"); err != nil {
+		t.Fatal(err)
+	}
+	resp := doReq(t, srv, http.MethodPost, "/queue/q-1/messages", nil,
+		"<QueueMessage><MessageText>!!notbase64!!</MessageText></QueueMessage>")
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestParseEntityKey(t *testing.T) {
+	cases := []struct {
+		in            string
+		table, pk, rk string
+		ok            bool
+	}{
+		{"People(PartitionKey='a',RowKey='b')", "People", "a", "b", true},
+		{"People(PartitionKey='o''brien',RowKey='r')", "People", "o'brien", "r", true},
+		{"People", "People", "", "", false},
+		{"People(PartitionKey='a')", "People", "a", "", true},
+	}
+	for _, c := range cases {
+		table, pk, rk, ok := parseEntityKey(c.in)
+		if table != c.table || pk != c.pk || rk != c.rk || ok != c.ok {
+			t.Errorf("parseEntityKey(%q) = %q,%q,%q,%v", c.in, table, pk, rk, ok)
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	off, n, err := parseRange("bytes=512-1535")
+	if err != nil || off != 512 || n != 1024 {
+		t.Fatalf("parseRange = %d,%d,%v", off, n, err)
+	}
+	for _, bad := range []string{"bytes=10", "bytes=a-b", "bytes=10-5"} {
+		if _, _, err := parseRange(bad); err == nil {
+			t.Errorf("parseRange(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDecodeBlockListOrdered(t *testing.T) {
+	refs, err := decodeBlockListOrdered([]byte(
+		`<BlockList><Latest>b</Latest><Committed>a</Committed><Uncommitted>c</Uncommitted></BlockList>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 3 || refs[0].ID != "b" || refs[1].ID != "a" || refs[2].ID != "c" {
+		t.Fatalf("refs = %+v (order must be preserved)", refs)
+	}
+}
+
+func TestThrottlerIndependentScopes(t *testing.T) {
+	th := newThrottler(Options{QueueOpsPerSec: 10, AccountOpsPerSec: 1000})
+	// Queue q1's bucket (burst 2) exhausts without touching q2's.
+	granted := 0
+	for i := 0; i < 5; i++ {
+		if th.allow("q1", "") {
+			granted++
+		}
+	}
+	if granted >= 5 {
+		t.Fatal("q1 never throttled")
+	}
+	if !th.allow("q2", "") {
+		t.Fatal("q2 throttled by q1's bucket")
+	}
+}

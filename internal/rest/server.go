@@ -1,0 +1,221 @@
+// Package rest serves the storage engines over HTTP, in the spirit of the
+// local Azure storage emulator (and its modern successor, Azurite). The
+// wire formats follow the 2011-era service: XML bodies for blob block
+// lists and queue messages, JSON for table entities, Azure error codes in
+// XML error bodies, and the x-ms-* header conventions.
+//
+// Routing deviates from production Azure in one documented way: the three
+// services are mounted under path prefixes (/blob, /queue, /table) on one
+// listener instead of per-service hostnames, which keeps a local emulator
+// usable without DNS games.
+//
+// The server optionally enforces the same scalability targets as the
+// simulated cloud (500 ops/s per queue and per table partition, 5 000
+// ops/s per account), returning 503 ServerBusy exactly like the real
+// service so live clients can exercise their retry paths.
+package rest
+
+import (
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"azurebench/internal/blobstore"
+	"azurebench/internal/cachestore"
+	"azurebench/internal/queuestore"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/tablestore"
+	"azurebench/internal/vclock"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Clock defaults to the wall clock.
+	Clock vclock.Clock
+	// Throttle enables the scalability-target token buckets.
+	Throttle bool
+	// QueueOpsPerSec / PartitionOpsPerSec / AccountOpsPerSec override the
+	// documented targets when positive (useful in tests).
+	QueueOpsPerSec     float64
+	PartitionOpsPerSec float64
+	AccountOpsPerSec   float64
+	// Cache enables the caching service with the given node count and
+	// per-node capacity.
+	Cache             bool
+	CacheNodes        int
+	CacheNodeCapacity int64
+}
+
+// Server is the HTTP storage emulator.
+type Server struct {
+	Blob  *blobstore.Store
+	Queue *queuestore.Store
+	Table *tablestore.Store
+	// CacheCluster is non-nil when Options.Cache is set; it serves the
+	// /cache routes.
+	CacheCluster *cachestore.Cluster
+
+	clock vclock.Clock
+	mux   *http.ServeMux
+
+	throttle *throttler
+}
+
+// NewServer builds an emulator with fresh engines.
+func NewServer(opts Options) *Server {
+	clock := opts.Clock
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	s := &Server{
+		Blob:  blobstore.New(clock),
+		Queue: queuestore.New(clock),
+		Table: tablestore.New(clock),
+		clock: clock,
+		mux:   http.NewServeMux(),
+	}
+	if opts.Throttle {
+		s.throttle = newThrottler(opts)
+	}
+	if opts.Cache {
+		nodes := opts.CacheNodes
+		if nodes <= 0 {
+			nodes = 4
+		}
+		capacity := opts.CacheNodeCapacity
+		if capacity <= 0 {
+			capacity = 128 * storecommon.MB
+		}
+		s.CacheCluster = cachestore.New(clock, nodes, capacity)
+	}
+	s.mux.HandleFunc("/blob/", s.handleBlob)
+	s.mux.HandleFunc("/queue/", s.handleQueue)
+	s.mux.HandleFunc("/table/", s.handleTable)
+	s.mux.HandleFunc("/cache/", s.handleCache)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("x-ms-version", "2011-08-18")
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- throttling ---
+
+type throttler struct {
+	mu      sync.Mutex
+	start   time.Time
+	account *storecommon.RateLimiter
+	queues  map[string]*storecommon.RateLimiter
+	parts   map[string]*storecommon.RateLimiter
+	qRate   float64
+	pRate   float64
+}
+
+func newThrottler(opts Options) *throttler {
+	aRate := opts.AccountOpsPerSec
+	if aRate <= 0 {
+		aRate = storecommon.AccountOpsPerSec
+	}
+	qRate := opts.QueueOpsPerSec
+	if qRate <= 0 {
+		qRate = storecommon.QueueOpsPerSec
+	}
+	pRate := opts.PartitionOpsPerSec
+	if pRate <= 0 {
+		pRate = storecommon.PartitionOpsPerSec
+	}
+	return &throttler{
+		start:   time.Now(),
+		account: storecommon.NewRateLimiter(aRate, aRate/2+1),
+		queues:  map[string]*storecommon.RateLimiter{},
+		parts:   map[string]*storecommon.RateLimiter{},
+		qRate:   qRate,
+		pRate:   pRate,
+	}
+}
+
+// allow charges one transaction against the account plus the optional
+// queue/partition scopes.
+func (t *throttler) allow(queue, partition string) bool {
+	if t == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Since(t.start)
+	if !t.account.Allow(now, 1) {
+		return false
+	}
+	if queue != "" {
+		tb := t.queues[queue]
+		if tb == nil {
+			tb = storecommon.NewRateLimiter(t.qRate, t.qRate/10+1)
+			t.queues[queue] = tb
+		}
+		if !tb.Allow(now, 1) {
+			return false
+		}
+	}
+	if partition != "" {
+		tb := t.parts[partition]
+		if tb == nil {
+			tb = storecommon.NewRateLimiter(t.pRate, t.pRate/10+1)
+			t.parts[partition] = tb
+		}
+		if !tb.Allow(now, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- error rendering ---
+
+type xmlError struct {
+	XMLName xml.Name `xml:"Error"`
+	Code    string   `xml:"Code"`
+	Message string   `xml:"Message"`
+}
+
+// writeError maps a storage error onto the Azure REST error format.
+func writeError(w http.ResponseWriter, err error) {
+	status := storecommon.StatusOf(err)
+	code := string(storecommon.CodeOf(err))
+	if code == "" {
+		code = string(storecommon.CodeInternalError)
+	}
+	w.Header().Set("x-ms-error-code", code)
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(status)
+	body, _ := xml.Marshal(xmlError{Code: code, Message: err.Error()})
+	w.Write(body)
+}
+
+func writeBusy(w http.ResponseWriter) {
+	writeError(w, storecommon.Errf(storecommon.CodeServerBusy, 503,
+		"the server is busy; retry after backoff"))
+}
+
+func writeMethodNotAllowed(w http.ResponseWriter, r *http.Request) {
+	writeError(w, storecommon.Errf(storecommon.CodeUnsupportedHTTPVerb, 405,
+		"verb %s not supported here", r.Method))
+}
+
+// pathParts splits the path after the service prefix into non-empty
+// segments.
+func pathParts(r *http.Request, prefix string) []string {
+	rest := strings.TrimPrefix(r.URL.Path, prefix)
+	rest = strings.Trim(rest, "/")
+	if rest == "" {
+		return nil
+	}
+	return strings.SplitN(rest, "/", 2)
+}

@@ -1,0 +1,249 @@
+package rest
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+
+	"azurebench/internal/odata"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/tablestore"
+)
+
+// handleTable routes /table/Tables... and /table/{name}...
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	parts := pathParts(r, "/table/")
+	if len(parts) == 0 {
+		writeError(w, storecommon.Errf(storecommon.CodeInvalidInput, 400, "missing table resource"))
+		return
+	}
+	resource := parts[0]
+	switch {
+	case resource == "Tables":
+		if !s.throttle.allow("", "") {
+			writeBusy(w)
+			return
+		}
+		s.handleTables(w, r)
+	case strings.HasPrefix(resource, "Tables('"):
+		if !s.throttle.allow("", "") {
+			writeBusy(w)
+			return
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(resource, "Tables('"), "')")
+		if r.Method != http.MethodDelete {
+			writeMethodNotAllowed(w, r)
+			return
+		}
+		if err := s.Table.DeleteTable(name); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		s.handleEntities(w, r, resource)
+	}
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var body struct {
+			TableName string `json:"TableName"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
+			writeError(w, storecommon.Errf(storecommon.CodeInvalidInput, 400, "bad body: %v", err))
+			return
+		}
+		if err := s.Table.CreateTable(body.TableName); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"TableName": body.TableName})
+	case http.MethodGet:
+		names := s.Table.ListTables("")
+		type entry struct {
+			TableName string `json:"TableName"`
+		}
+		out := struct {
+			Value []entry `json:"value"`
+		}{}
+		for _, n := range names {
+			out.Value = append(out.Value, entry{TableName: n})
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeMethodNotAllowed(w, r)
+	}
+}
+
+// parseEntityKey parses `name(PartitionKey='p',RowKey='r')`.
+func parseEntityKey(resource string) (table, pk, rk string, ok bool) {
+	open := strings.IndexByte(resource, '(')
+	if open < 0 || !strings.HasSuffix(resource, ")") {
+		return resource, "", "", false
+	}
+	table = resource[:open]
+	inner := resource[open+1 : len(resource)-1]
+	for _, kv := range strings.Split(inner, ",") {
+		k, v, found := strings.Cut(strings.TrimSpace(kv), "=")
+		if !found {
+			return table, "", "", false
+		}
+		v = strings.TrimSuffix(strings.TrimPrefix(v, "'"), "'")
+		v = strings.ReplaceAll(v, "''", "'")
+		switch k {
+		case "PartitionKey":
+			pk = v
+		case "RowKey":
+			rk = v
+		}
+	}
+	return table, pk, rk, true
+}
+
+func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request, resource string) {
+	table, pk, rk, keyed := parseEntityKey(resource)
+	if !s.throttle.allow("", table+"|"+pk) {
+		writeBusy(w)
+		return
+	}
+	if keyed {
+		s.handleEntityByKey(w, r, table, pk, rk)
+		return
+	}
+	switch r.Method {
+	case http.MethodPost: // Insert
+		e, err := readEntity(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		stored, err := s.Table.Insert(table, e)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("ETag", stored.ETag)
+		writeEntityJSON(w, http.StatusCreated, stored)
+	case http.MethodGet: // Query
+		q := r.URL.Query()
+		top := intOr(q.Get("$top"), 0)
+		from := tablestore.Continuation{
+			NextPartitionKey: r.Header.Get("x-ms-continuation-NextPartitionKey"),
+			NextRowKey:       r.Header.Get("x-ms-continuation-NextRowKey"),
+		}
+		res, err := s.Table.Query(table, q.Get("$filter"), top, from)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if !res.Next.IsZero() {
+			w.Header().Set("x-ms-continuation-NextPartitionKey", res.Next.NextPartitionKey)
+			w.Header().Set("x-ms-continuation-NextRowKey", res.Next.NextRowKey)
+		}
+		var values []json.RawMessage
+		for _, e := range res.Entities {
+			raw, err := odata.EncodeEntity(e)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			values = append(values, raw)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"value": values})
+	default:
+		writeMethodNotAllowed(w, r)
+	}
+}
+
+func (s *Server) handleEntityByKey(w http.ResponseWriter, r *http.Request, table, pk, rk string) {
+	ifMatch := r.Header.Get("If-Match")
+	switch r.Method {
+	case http.MethodGet:
+		e, err := s.Table.Get(table, pk, rk)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("ETag", e.ETag)
+		writeEntityJSON(w, http.StatusOK, e)
+	case http.MethodPut: // Replace (or InsertOrReplace when no If-Match)
+		e, err := readEntity(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		e.PartitionKey, e.RowKey = pk, rk
+		var stored *tablestore.Entity
+		if ifMatch == "" {
+			stored, err = s.Table.InsertOrReplace(table, e)
+		} else {
+			stored, err = s.Table.Replace(table, e, ifMatch)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("ETag", stored.ETag)
+		w.WriteHeader(http.StatusNoContent)
+	case "MERGE": // Merge (or InsertOrMerge when no If-Match)
+		e, err := readEntity(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		e.PartitionKey, e.RowKey = pk, rk
+		var stored *tablestore.Entity
+		if ifMatch == "" {
+			stored, err = s.Table.InsertOrMerge(table, e)
+		} else {
+			stored, err = s.Table.Merge(table, e, ifMatch)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("ETag", stored.ETag)
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodDelete:
+		if ifMatch == "" {
+			writeError(w, storecommon.Errf(storecommon.CodeMissingRequiredHeader, 400,
+				"DELETE requires If-Match (use * for unconditional)"))
+			return
+		}
+		if err := s.Table.Delete(table, pk, rk, ifMatch); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeMethodNotAllowed(w, r)
+	}
+}
+
+func readEntity(r *http.Request) (*tablestore.Entity, error) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 2*storecommon.MaxEntitySize))
+	if err != nil {
+		return nil, storecommon.Errf(storecommon.CodeInvalidInput, 400, "reading body: %v", err)
+	}
+	return odata.DecodeEntity(raw)
+}
+
+func writeEntityJSON(w http.ResponseWriter, status int, e *tablestore.Entity) {
+	raw, err := odata.EncodeEntity(e)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(raw)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,114 @@
+package sdk
+
+import (
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// CacheClient talks to the emulator's caching service (enabled on the
+// server via rest.Options.Cache).
+type CacheClient struct {
+	c *Client
+}
+
+// Cache returns the caching-service client.
+func (c *Client) Cache() *CacheClient { return &CacheClient{c: c} }
+
+// CacheItem is a fetched cache entry.
+type CacheItem struct {
+	Value   []byte
+	Version uint64
+	// Lock is set by GetAndLock.
+	Lock string
+}
+
+// CreateCache registers a named cache (idempotent).
+func (cc *CacheClient) CreateCache(name string) error {
+	_, err := cc.c.do(request{method: http.MethodPut, path: "/cache/" + esc(name)})
+	return err
+}
+
+func cachePath(cache, key string) string {
+	return "/cache/" + esc(cache) + "/" + esc(key)
+}
+
+// Put stores value under key; ttl 0 uses the service default. It returns
+// the item version.
+func (cc *CacheClient) Put(cache, key string, value []byte, ttl time.Duration) (uint64, error) {
+	q := url.Values{}
+	if ttl > 0 {
+		q.Set("ttl", strconv.Itoa(int(ttl.Seconds())))
+	}
+	resp, err := cc.c.do(request{method: http.MethodPut, path: cachePath(cache, key), query: q, body: value})
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(resp.headers.Get("x-ms-cache-version"), 10, 64)
+}
+
+// PutIfVersion stores value only when version matches the cached item.
+func (cc *CacheClient) PutIfVersion(cache, key string, value []byte, version uint64, ttl time.Duration) (uint64, error) {
+	q := url.Values{"version": {strconv.FormatUint(version, 10)}}
+	if ttl > 0 {
+		q.Set("ttl", strconv.Itoa(int(ttl.Seconds())))
+	}
+	resp, err := cc.c.do(request{method: http.MethodPut, path: cachePath(cache, key), query: q, body: value})
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(resp.headers.Get("x-ms-cache-version"), 10, 64)
+}
+
+// Get fetches key; a miss surfaces as a not-found error (check with
+// IsNotFound).
+func (cc *CacheClient) Get(cache, key string) (CacheItem, error) {
+	resp, err := cc.c.do(request{method: http.MethodGet, path: cachePath(cache, key)})
+	if err != nil {
+		return CacheItem{}, err
+	}
+	version, _ := strconv.ParseUint(resp.headers.Get("x-ms-cache-version"), 10, 64)
+	return CacheItem{Value: resp.body, Version: version}, nil
+}
+
+// GetAndLock fetches key and locks it for d.
+func (cc *CacheClient) GetAndLock(cache, key string, d time.Duration) (CacheItem, error) {
+	q := url.Values{"lock": {strconv.Itoa(int(d.Seconds()))}}
+	resp, err := cc.c.do(request{method: http.MethodGet, path: cachePath(cache, key), query: q})
+	if err != nil {
+		return CacheItem{}, err
+	}
+	version, _ := strconv.ParseUint(resp.headers.Get("x-ms-cache-version"), 10, 64)
+	return CacheItem{
+		Value:   resp.body,
+		Version: version,
+		Lock:    resp.headers.Get("x-ms-cache-lock"),
+	}, nil
+}
+
+// PutAndUnlock writes a locked item and releases the lock.
+func (cc *CacheClient) PutAndUnlock(cache, key string, value []byte, lock string, ttl time.Duration) (uint64, error) {
+	q := url.Values{"lock": {lock}}
+	if ttl > 0 {
+		q.Set("ttl", strconv.Itoa(int(ttl.Seconds())))
+	}
+	resp, err := cc.c.do(request{method: http.MethodPut, path: cachePath(cache, key), query: q, body: value})
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(resp.headers.Get("x-ms-cache-version"), 10, 64)
+}
+
+// Unlock releases a lock without writing.
+func (cc *CacheClient) Unlock(cache, key, lock string) error {
+	q := url.Values{"unlock": {"true"}, "lock": {lock}}
+	_, err := cc.c.do(request{method: http.MethodDelete, path: cachePath(cache, key), query: q})
+	return err
+}
+
+// Remove deletes key (not-found error when absent).
+func (cc *CacheClient) Remove(cache, key string) error {
+	_, err := cc.c.do(request{method: http.MethodDelete, path: cachePath(cache, key)})
+	return err
+}

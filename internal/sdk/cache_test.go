@@ -1,0 +1,105 @@
+package sdk
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"azurebench/internal/rest"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/vclock"
+)
+
+func TestCacheOverREST(t *testing.T) {
+	clk := &vclock.Manual{}
+	c, _ := newStack(t, rest.Options{Cache: true, Clock: clk})
+	cc := c.Cache()
+
+	// Miss on absent key.
+	if _, err := cc.Get("default", "k"); !IsNotFound(err) {
+		t.Fatalf("miss = %v", err)
+	}
+	// Put/Get round trip with version.
+	v1, err := cc.Put("default", "k", []byte("hello"), time.Minute)
+	if err != nil || v1 == 0 {
+		t.Fatalf("put = %d, %v", v1, err)
+	}
+	item, err := cc.Get("default", "k")
+	if err != nil || !bytes.Equal(item.Value, []byte("hello")) || item.Version != v1 {
+		t.Fatalf("get = %+v, %v", item, err)
+	}
+	// Versioned update honoured over the wire.
+	v2, err := cc.PutIfVersion("default", "k", []byte("world"), v1, time.Minute)
+	if err != nil || v2 <= v1 {
+		t.Fatalf("versioned put = %d, %v", v2, err)
+	}
+	if _, err := cc.PutIfVersion("default", "k", []byte("stale"), v1, time.Minute); !storecommon.IsPreconditionFailed(err) {
+		t.Fatalf("stale version = %v", err)
+	}
+	// TTL expiry (manual clock drives the engine).
+	clk.Advance(2 * time.Minute)
+	if _, err := cc.Get("default", "k"); !IsNotFound(err) {
+		t.Fatalf("expired get = %v", err)
+	}
+}
+
+func TestCacheLockingOverREST(t *testing.T) {
+	c, _ := newStack(t, rest.Options{Cache: true})
+	cc := c.Cache()
+	if err := cc.CreateCache("jobs"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Put("jobs", "k", []byte("v1"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	item, err := cc.GetAndLock("jobs", "k", time.Minute)
+	if err != nil || item.Lock == "" {
+		t.Fatalf("lock = %+v, %v", item, err)
+	}
+	// Second locker rejected; plain get still works.
+	if _, err := cc.GetAndLock("jobs", "k", time.Minute); err == nil {
+		t.Fatal("double lock acquired over REST")
+	}
+	if _, err := cc.Get("jobs", "k"); err != nil {
+		t.Fatalf("plain get during lock = %v", err)
+	}
+	if _, err := cc.PutAndUnlock("jobs", "k", []byte("v2"), item.Lock, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cc.Get("jobs", "k")
+	if err != nil || string(got.Value) != "v2" {
+		t.Fatalf("after unlock = %q, %v", got.Value, err)
+	}
+	// Unlock-without-write path.
+	item2, err := cc.GetAndLock("jobs", "k", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Unlock("jobs", "k", item2.Lock); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.GetAndLock("jobs", "k", time.Minute); err != nil {
+		t.Fatalf("relock = %v", err)
+	}
+}
+
+func TestCacheRemoveOverREST(t *testing.T) {
+	c, _ := newStack(t, rest.Options{Cache: true})
+	cc := c.Cache()
+	if _, err := cc.Put("default", "k", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Remove("default", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Remove("default", "k"); !IsNotFound(err) {
+		t.Fatalf("double remove = %v", err)
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	c, _ := newStack(t, rest.Options{})
+	if _, err := c.Cache().Get("default", "k"); !IsNotFound(err) {
+		t.Fatalf("disabled cache = %v", err)
+	}
+}

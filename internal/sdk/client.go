@@ -1,0 +1,157 @@
+// Package sdk is a Go client library for the storage emulator's REST API
+// (package rest) — the reproduction's stand-in for the official Azure
+// storage SDK the paper's benchmark is written against. It provides
+// typed blob/queue/table clients, Azure error-code surfacing, and the
+// paper's retry discipline (back off and retry on ServerBusy).
+package sdk
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"azurebench/internal/storecommon"
+)
+
+// Client is a connection to one emulator endpoint.
+type Client struct {
+	base   string
+	http   *http.Client
+	policy RetryPolicy
+}
+
+// RetryPolicy controls ServerBusy retries.
+type RetryPolicy struct {
+	// MaxRetries bounds retry attempts (0 disables retries).
+	MaxRetries int
+	// Backoff is slept between attempts (the paper uses one second).
+	Backoff time.Duration
+}
+
+// DefaultRetryPolicy matches the paper's behaviour: retry throttled
+// operations after a one-second sleep.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 8, Backoff: time.Second}
+}
+
+// New creates a client for the emulator at baseURL (e.g.
+// "http://127.0.0.1:10000"). A nil httpClient uses http.DefaultClient.
+func New(baseURL string, httpClient *http.Client, policy RetryPolicy) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{
+		base:   strings.TrimRight(baseURL, "/"),
+		http:   httpClient,
+		policy: policy,
+	}
+}
+
+// Blob returns the blob service client.
+func (c *Client) Blob() *BlobClient { return &BlobClient{c: c} }
+
+// Queue returns the queue service client.
+func (c *Client) Queue() *QueueClient { return &QueueClient{c: c} }
+
+// Table returns the table service client.
+func (c *Client) Table() *TableClient { return &TableClient{c: c} }
+
+// request describes one REST call.
+type request struct {
+	method  string
+	path    string // service-relative, e.g. "/blob/c/b"
+	query   url.Values
+	headers map[string]string
+	body    []byte
+}
+
+// response captures what callers need.
+type response struct {
+	status  int
+	headers http.Header
+	body    []byte
+}
+
+// do executes the request with ServerBusy retries and maps REST errors to
+// storecommon errors.
+func (c *Client) do(req request) (*response, error) {
+	attempts := c.policy.MaxRetries + 1
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.policy.Backoff)
+		}
+		resp, err := c.once(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.status < 400 {
+			return resp, nil
+		}
+		serr := decodeError(resp)
+		if storecommon.IsServerBusy(serr) && attempt+1 < attempts {
+			lastErr = serr
+			continue
+		}
+		return resp, serr
+	}
+	return nil, lastErr
+}
+
+func (c *Client) once(req request) (*response, error) {
+	u := c.base + req.path
+	if len(req.query) > 0 {
+		u += "?" + req.query.Encode()
+	}
+	var body io.Reader
+	if req.body != nil {
+		body = bytes.NewReader(req.body)
+	}
+	hreq, err := http.NewRequest(req.method, u, body)
+	if err != nil {
+		return nil, fmt.Errorf("sdk: building request: %w", err)
+	}
+	for k, v := range req.headers {
+		hreq.Header.Set(k, v)
+	}
+	hresp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("sdk: %s %s: %w", req.method, req.path, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("sdk: reading response: %w", err)
+	}
+	return &response{status: hresp.StatusCode, headers: hresp.Header, body: data}, nil
+}
+
+// decodeError converts a REST error response into a *storecommon.Error.
+func decodeError(resp *response) error {
+	var xe struct {
+		Code    string `xml:"Code"`
+		Message string `xml:"Message"`
+	}
+	code := resp.headers.Get("x-ms-error-code")
+	msg := ""
+	if err := xml.Unmarshal(resp.body, &xe); err == nil {
+		if code == "" {
+			code = xe.Code
+		}
+		msg = xe.Message
+	}
+	if code == "" {
+		code = string(storecommon.CodeInternalError)
+	}
+	if msg == "" {
+		msg = strings.TrimSpace(string(resp.body))
+	}
+	return storecommon.Errf(storecommon.Code(code), resp.status, "%s", msg)
+}
+
+func esc(s string) string { return url.PathEscape(s) }

@@ -1,0 +1,209 @@
+package sdk
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"azurebench/internal/odata"
+	"azurebench/internal/tablestore"
+)
+
+// TableClient talks to the table service.
+type TableClient struct {
+	c *Client
+}
+
+// Create creates a table.
+func (t *TableClient) Create(name string) error {
+	body, _ := json.Marshal(map[string]string{"TableName": name})
+	_, err := t.c.do(request{method: http.MethodPost, path: "/table/Tables", body: body})
+	return err
+}
+
+// Delete deletes a table.
+func (t *TableClient) Delete(name string) error {
+	_, err := t.c.do(request{method: http.MethodDelete, path: "/table/Tables('" + esc(name) + "')"})
+	return err
+}
+
+// List lists table names.
+func (t *TableClient) List() ([]string, error) {
+	resp, err := t.c.do(request{method: http.MethodGet, path: "/table/Tables"})
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Value []struct {
+			TableName string `json:"TableName"`
+		} `json:"value"`
+	}
+	if err := json.Unmarshal(resp.body, &out); err != nil {
+		return nil, fmt.Errorf("sdk: bad table list: %w", err)
+	}
+	var names []string
+	for _, v := range out.Value {
+		names = append(names, v.TableName)
+	}
+	return names, nil
+}
+
+func entityPath(table, pk, rk string) string {
+	return fmt.Sprintf("/table/%s(PartitionKey='%s',RowKey='%s')",
+		esc(table), keyEsc(pk), keyEsc(rk))
+}
+
+// keyEsc escapes a key for the OData key syntax (quotes double).
+func keyEsc(k string) string {
+	out := ""
+	for _, r := range k {
+		if r == '\'' {
+			out += "''"
+			continue
+		}
+		out += string(r)
+	}
+	return url.PathEscape(out)
+}
+
+// Insert adds an entity; the stored ETag is returned.
+func (t *TableClient) Insert(table string, e *tablestore.Entity) (string, error) {
+	body, err := odata.EncodeEntity(e)
+	if err != nil {
+		return "", err
+	}
+	resp, err := t.c.do(request{method: http.MethodPost, path: "/table/" + esc(table), body: body})
+	if err != nil {
+		return "", err
+	}
+	return resp.headers.Get("ETag"), nil
+}
+
+// Get retrieves an entity by key.
+func (t *TableClient) Get(table, pk, rk string) (*tablestore.Entity, error) {
+	resp, err := t.c.do(request{method: http.MethodGet, path: entityPath(table, pk, rk)})
+	if err != nil {
+		return nil, err
+	}
+	e, err := odata.DecodeEntity(resp.body)
+	if err != nil {
+		return nil, err
+	}
+	if tag := resp.headers.Get("ETag"); tag != "" {
+		e.ETag = tag
+	}
+	return e, nil
+}
+
+// Replace replaces an entity under an ETag condition ("*" for
+// unconditional; "" upserts).
+func (t *TableClient) Replace(table string, e *tablestore.Entity, ifMatch string) (string, error) {
+	return t.write(http.MethodPut, table, e, ifMatch)
+}
+
+// Merge merges an entity's properties under an ETag condition.
+func (t *TableClient) Merge(table string, e *tablestore.Entity, ifMatch string) (string, error) {
+	return t.write("MERGE", table, e, ifMatch)
+}
+
+func (t *TableClient) write(method, table string, e *tablestore.Entity, ifMatch string) (string, error) {
+	body, err := odata.EncodeEntity(e)
+	if err != nil {
+		return "", err
+	}
+	headers := map[string]string{}
+	if ifMatch != "" {
+		headers["If-Match"] = ifMatch
+	}
+	resp, err := t.c.do(request{
+		method:  method,
+		path:    entityPath(table, e.PartitionKey, e.RowKey),
+		headers: headers,
+		body:    body,
+	})
+	if err != nil {
+		return "", err
+	}
+	return resp.headers.Get("ETag"), nil
+}
+
+// DeleteEntity deletes an entity under an ETag condition ("*" for
+// unconditional).
+func (t *TableClient) DeleteEntity(table, pk, rk, ifMatch string) error {
+	_, err := t.c.do(request{
+		method:  http.MethodDelete,
+		path:    entityPath(table, pk, rk),
+		headers: map[string]string{"If-Match": ifMatch},
+	})
+	return err
+}
+
+// QueryPage is one page of query results.
+type QueryPage struct {
+	Entities []*tablestore.Entity
+	Next     tablestore.Continuation
+}
+
+// Query runs a filtered scan, resuming from a continuation.
+func (t *TableClient) Query(table, filter string, top int, from tablestore.Continuation) (QueryPage, error) {
+	q := url.Values{}
+	if filter != "" {
+		q.Set("$filter", filter)
+	}
+	if top > 0 {
+		q.Set("$top", strconv.Itoa(top))
+	}
+	headers := map[string]string{}
+	if !from.IsZero() {
+		headers["x-ms-continuation-NextPartitionKey"] = from.NextPartitionKey
+		headers["x-ms-continuation-NextRowKey"] = from.NextRowKey
+	}
+	resp, err := t.c.do(request{
+		method:  http.MethodGet,
+		path:    "/table/" + esc(table),
+		query:   q,
+		headers: headers,
+	})
+	if err != nil {
+		return QueryPage{}, err
+	}
+	var out struct {
+		Value []json.RawMessage `json:"value"`
+	}
+	if err := json.Unmarshal(resp.body, &out); err != nil {
+		return QueryPage{}, fmt.Errorf("sdk: bad query result: %w", err)
+	}
+	page := QueryPage{
+		Next: tablestore.Continuation{
+			NextPartitionKey: resp.headers.Get("x-ms-continuation-NextPartitionKey"),
+			NextRowKey:       resp.headers.Get("x-ms-continuation-NextRowKey"),
+		},
+	}
+	for _, raw := range out.Value {
+		e, err := odata.DecodeEntity(raw)
+		if err != nil {
+			return QueryPage{}, err
+		}
+		page.Entities = append(page.Entities, e)
+	}
+	return page, nil
+}
+
+// QueryAll drains a query across continuations.
+func (t *TableClient) QueryAll(table, filter string) ([]*tablestore.Entity, error) {
+	var all []*tablestore.Entity
+	var from tablestore.Continuation
+	for {
+		page, err := t.Query(table, filter, 0, from)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Entities...)
+		if page.Next.IsZero() {
+			return all, nil
+		}
+		from = page.Next
+	}
+}

@@ -1,0 +1,23 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// Processes are ordinary goroutines that run cooperatively: exactly one
+// process (or the kernel) executes at a time, and control is handed over at
+// well-defined yield points (Sleep, Acquire, Wait, ...). Virtual time only
+// advances in the kernel loop, between events. Given the same seed and the
+// same program, a simulation produces the identical event trace on every
+// run, which makes experiments reproducible bit-for-bit.
+//
+// The design follows the classic SimPy/CSIM process model:
+//
+//   - Env owns the virtual clock and the pending-event heap.
+//   - Proc is a cooperative process; it may only call blocking primitives
+//     from its own goroutine while it is the running process.
+//   - Resource is a FIFO server with fixed capacity (a queueing station).
+//   - Store is a FIFO buffer of items with blocking Get.
+//   - Signal is a one-shot broadcast event; WaitGroup is a counting barrier.
+//
+// Events scheduled for the same instant fire in scheduling order (a strict
+// sequence number breaks ties), so FIFO disciplines are exact, not
+// probabilistic.
+package sim

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock plus a pending-event
+// heap. Create one with NewEnv, start processes with Go, then call Run (or
+// RunUntil). Env is not safe for concurrent use from outside the
+// simulation; all interaction during a run must happen from simulation
+// processes.
+type Env struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	yield  chan struct{} // running process -> kernel handoff
+	cur    *Proc         // currently running process, nil in kernel context
+	rng    *Rand
+	nLive  int // processes started and not yet finished
+	nSpawn int // total processes ever started (used for default names)
+	fired  uint64
+
+	pendingPanic any // panic value escaping a process, re-raised in kernel context
+}
+
+// NewEnv returns a fresh environment with the clock at zero. The seed feeds
+// the environment's PRNG (Env.Rand); the simulation itself is deterministic
+// regardless of seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		rng:   NewRand(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Rand returns the environment's deterministic PRNG.
+func (e *Env) Rand() *Rand { return e.rng }
+
+// Events returns the number of events fired so far.
+func (e *Env) Events() uint64 { return e.fired }
+
+// Live returns the number of processes that have been started and have not
+// yet returned.
+func (e *Env) Live() int { return e.nLive }
+
+// schedule enqueues fire to run at time at. It panics if at precedes the
+// current time.
+func (e *Env) schedule(at time.Duration, fire func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (at=%v now=%v)", at, e.now))
+	}
+	e.seq++
+	e.events.push(&event{at: at, seq: e.seq, fire: fire})
+}
+
+// Go starts a new process running fn at the current virtual time. If name
+// is empty a sequential name is assigned. Go may be called before Run or
+// from a running process. The returned Proc can be joined via Proc.Join.
+func (e *Env) Go(name string, fn func(*Proc)) *Proc {
+	return e.GoAt(e.now, name, fn)
+}
+
+// GoAt starts a new process running fn at virtual time at (which must not
+// be in the past).
+func (e *Env) GoAt(at time.Duration, name string, fn func(*Proc)) *Proc {
+	e.nSpawn++
+	if name == "" {
+		name = fmt.Sprintf("proc-%d", e.nSpawn)
+	}
+	p := &Proc{
+		env:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		done:   NewSignal(e),
+	}
+	e.nLive++
+	e.schedule(at, func() { e.startProc(p, fn) })
+	return p
+}
+
+// startProc launches the process goroutine and runs it until its first
+// yield. Called in kernel context.
+func (e *Env) startProc(p *Proc, fn func(*Proc)) {
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.pendingPanic = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+			}
+			p.ended = true
+			e.nLive--
+			p.done.Fire()
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.activate(p)
+}
+
+// activate hands control to p and blocks until p yields (or ends). Called
+// in kernel context only. A panic that escaped the process is re-raised
+// here, in the caller of Run, where it can be recovered.
+func (e *Env) activate(p *Proc) {
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.cur = prev
+	if e.pendingPanic != nil {
+		r := e.pendingPanic
+		e.pendingPanic = nil
+		panic(r)
+	}
+}
+
+// Run executes events until the heap is empty, then returns the final
+// virtual time. Processes that are parked forever (e.g. waiting on a signal
+// nobody fires) do not keep Run alive; Run returns with them still parked.
+func (e *Env) Run() time.Duration {
+	for len(e.events) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunLimited executes events until the heap is empty or maxEvents have
+// fired since the call started; it reports whether the simulation drained.
+// Use it as a watchdog for simulations that can poll forever when a
+// termination condition is mis-specified (e.g. a barrier participant
+// count that never arrives).
+func (e *Env) RunLimited(maxEvents uint64) bool {
+	start := e.fired
+	for len(e.events) > 0 {
+		if e.fired-start >= maxEvents {
+			return false
+		}
+		e.step()
+	}
+	return true
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t
+// and returns. Pending later events remain queued; a subsequent Run or
+// RunUntil continues the simulation.
+func (e *Env) RunUntil(t time.Duration) time.Duration {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return e.now
+}
+
+func (e *Env) step() {
+	ev := e.events.pop()
+	e.now = ev.at
+	e.fired++
+	ev.fire()
+}
+
+// mustBeRunning panics unless p is the process currently executing. All
+// blocking primitives call this: it catches the common mistake of calling a
+// blocking method from outside the simulation or from the wrong process.
+func (e *Env) mustBeRunning(p *Proc, op string) {
+	if e.cur != p {
+		panic(fmt.Sprintf("sim: %s called from process %q which is not running", op, p.name))
+	}
+}

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is a pending simulation event: at time at, run fire.
+type event struct {
+	at   time.Duration
+	seq  uint64 // tie-breaker: events at the same instant fire in schedule order
+	fire func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+func (h *eventHeap) push(ev *event) { heap.Push(h, ev) }
+
+func (h *eventHeap) pop() *event { return heap.Pop(h).(*event) }

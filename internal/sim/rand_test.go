@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed int64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandFloat64Mean(t *testing.T) {
+	r := NewRand(7)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1.0) > 0.05 {
+		t.Fatalf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestRandNormMoments(t *testing.T) {
+	r := NewRand(11)
+	sum, sumSq := 0.0, 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed int64, n uint8) bool {
+		m := int(n % 64)
+		p := NewRand(seed).Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFillDeterministicAndCovers(t *testing.T) {
+	a := make([]byte, 37)
+	b := make([]byte, 37)
+	NewRand(5).Fill(a)
+	NewRand(5).Fill(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Fill not deterministic")
+		}
+	}
+	zero := 0
+	for _, v := range a {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero > 10 {
+		t.Fatalf("suspiciously many zero bytes: %d", zero)
+	}
+}
+
+func TestRandIntnZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}

@@ -1,0 +1,131 @@
+package sim
+
+import "time"
+
+// Resource is a FIFO queueing station with fixed capacity: at most capacity
+// processes hold a unit at once; further acquirers queue in strict FIFO
+// order. It models a server (or a pool of identical servers sharing one
+// queue).
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	// Statistics.
+	acquired  uint64
+	busyTime  time.Duration // integral of inUse over time
+	queueTime time.Duration // integral of queue length over time
+	lastStamp time.Duration
+	maxQueue  int
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: NewResource with capacity < 1")
+	}
+	return &Resource{env: env, name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) account() {
+	now := r.env.now
+	dt := now - r.lastStamp
+	r.busyTime += time.Duration(int64(dt) * int64(r.inUse))
+	r.queueTime += time.Duration(int64(dt) * int64(len(r.waiters)))
+	r.lastStamp = now
+}
+
+// Acquire obtains one unit, blocking in FIFO order until one is free.
+func (r *Resource) Acquire(p *Proc) {
+	r.env.mustBeRunning(p, "Resource.Acquire")
+	r.account()
+	r.acquired++
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	if len(r.waiters) > r.maxQueue {
+		r.maxQueue = len(r.waiters)
+	}
+	p.park()
+}
+
+// TryAcquire obtains a unit without blocking; it reports whether it
+// succeeded.
+func (r *Resource) TryAcquire() bool {
+	r.account()
+	if r.inUse < r.capacity {
+		r.acquired++
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit. If processes are queued the unit transfers to
+// the head of the queue, which is re-activated at the current instant.
+// Release may be called from any process (it does not block).
+func (r *Resource) Release() {
+	r.account()
+	if r.inUse <= 0 {
+		panic("sim: Resource.Release without matching Acquire")
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters[len(r.waiters)-1] = nil
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		// The unit transfers: inUse stays constant.
+		r.env.schedule(r.env.now, func() { r.env.activate(next) })
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, holds it for d of virtual time, and releases
+// it. It is the common pattern for modelling a service time at a station.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// Stats reports utilisation statistics since the start of the simulation.
+type ResourceStats struct {
+	Acquired   uint64        // completed Acquire/TryAcquire grants
+	Busy       time.Duration // time-integral of units in use
+	QueueTime  time.Duration // time-integral of queue length
+	MaxQueue   int           // high-water mark of the waiter queue
+	InUse      int           // current units in use
+	QueueLen   int           // current waiters
+	ObservedAt time.Duration // virtual time of this snapshot
+}
+
+// Stats returns a snapshot of utilisation statistics.
+func (r *Resource) Stats() ResourceStats {
+	r.account()
+	return ResourceStats{
+		Acquired:   r.acquired,
+		Busy:       r.busyTime,
+		QueueTime:  r.queueTime,
+		MaxQueue:   r.maxQueue,
+		InUse:      r.inUse,
+		QueueLen:   len(r.waiters),
+		ObservedAt: r.env.now,
+	}
+}

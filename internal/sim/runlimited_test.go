@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunLimitedStopsRunawaySimulation(t *testing.T) {
+	e := NewEnv(1)
+	e.Go("poller", func(p *Proc) {
+		for { // a barrier that never satisfies: polls forever
+			p.Sleep(time.Second)
+		}
+	})
+	if e.RunLimited(1000) {
+		t.Fatal("runaway simulation reported as drained")
+	}
+	if e.Events() < 1000 {
+		t.Fatalf("fired %d events, expected to hit the limit", e.Events())
+	}
+}
+
+func TestRunLimitedDrainsFiniteSimulation(t *testing.T) {
+	e := NewEnv(1)
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(time.Second)
+		}
+	})
+	if !e.RunLimited(1_000_000) {
+		t.Fatal("finite simulation reported as runaway")
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}

@@ -1,0 +1,149 @@
+// Package storecommon holds the pieces shared by the three storage engines:
+// the Azure-style error model, the documented service limits (“scalability
+// targets”), resource-naming validation, ETag generation and token-bucket
+// rate limiting.
+package storecommon
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is an Azure storage error code, matching the REST error-code strings
+// of the 2011-era service.
+type Code string
+
+// Error codes used across the services.
+const (
+	CodeServerBusy              Code = "ServerBusy"
+	CodeInternalError           Code = "InternalError"
+	CodeInvalidInput            Code = "InvalidInput"
+	CodeOutOfRangeInput         Code = "OutOfRangeInput"
+	CodeResourceNotFound        Code = "ResourceNotFound"
+	CodeResourceAlreadyExists   Code = "ResourceAlreadyExists"
+	CodeConditionNotMet         Code = "ConditionNotMet"
+	CodeContainerNotFound       Code = "ContainerNotFound"
+	CodeContainerAlreadyExists  Code = "ContainerAlreadyExists"
+	CodeBlobNotFound            Code = "BlobNotFound"
+	CodeBlobAlreadyExists       Code = "BlobAlreadyExists"
+	CodeInvalidBlockID          Code = "InvalidBlockId"
+	CodeInvalidBlockList        Code = "InvalidBlockList"
+	CodeInvalidPageRange        Code = "InvalidPageRange"
+	CodeBlockCountExceedsLimit  Code = "BlockCountExceedsLimit"
+	CodeRequestBodyTooLarge     Code = "RequestBodyTooLarge"
+	CodeLeaseAlreadyPresent     Code = "LeaseAlreadyPresent"
+	CodeLeaseIDMissing          Code = "LeaseIdMissing"
+	CodeLeaseIDMismatch         Code = "LeaseIdMismatchWithLeaseOperation"
+	CodeLeaseNotPresent         Code = "LeaseNotPresentWithLeaseOperation"
+	CodeQueueNotFound           Code = "QueueNotFound"
+	CodeQueueAlreadyExists      Code = "QueueAlreadyExists"
+	CodeMessageNotFound         Code = "MessageNotFound"
+	CodeMessageTooLarge         Code = "MessageTooLarge"
+	CodePopReceiptMismatch      Code = "PopReceiptMismatch"
+	CodeInvalidVisibility       Code = "InvalidVisibilityTimeout"
+	CodeTableNotFound           Code = "TableNotFound"
+	CodeTableAlreadyExists      Code = "TableAlreadyExists"
+	CodeEntityNotFound          Code = "EntityNotFound"
+	CodeEntityAlreadyExists     Code = "EntityAlreadyExists"
+	CodeEntityTooLarge          Code = "EntityTooLarge"
+	CodePropertyLimitExceeded   Code = "TooManyProperties"
+	CodeUpdateConditionNotMet   Code = "UpdateConditionNotSatisfied"
+	CodeInvalidQuery            Code = "InvalidQuery"
+	CodeAccountBandwidthLimit   Code = "AccountBandwidthExceeded"
+	CodeOperationTimedOut       Code = "OperationTimedOut"
+	CodeInvalidResourceName     Code = "InvalidResourceName"
+	CodeOutOfCapacity           Code = "InsufficientAccountPermissions"
+	CodeBatchPartitionMismatch  Code = "CommandsInBatchActOnDifferentPartitions"
+	CodeBatchTooManyOperations  Code = "InvalidNumberOfBatchOperations"
+	CodeBatchDuplicateRowKey    Code = "InvalidDuplicateRow"
+	CodeSnapshotNotFound        Code = "SnapshotNotFound"
+	CodeInstanceUnavailable     Code = "RoleInstanceUnavailable"
+	CodeUnsupportedHTTPVerb     Code = "UnsupportedHttpVerb"
+	CodeMissingRequiredHeader   Code = "MissingRequiredHeader"
+	CodeAuthenticationFailed    Code = "AuthenticationFailed"
+	CodeAccountTransactionLimit Code = "AccountTransactionRateExceeded"
+)
+
+// Error is the storage error type surfaced by every engine and service
+// operation. Status carries the HTTP status the REST layer maps it to.
+type Error struct {
+	Code    Code
+	Status  int
+	Message string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Errf builds an *Error with a formatted message.
+func Errf(code Code, status int, format string, args ...any) *Error {
+	return &Error{Code: code, Status: status, Message: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the storage error code from err, or "" if err is not a
+// storage error.
+func CodeOf(err error) Code {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return ""
+}
+
+// StatusOf extracts the HTTP status from err, or 500 for unknown errors and
+// 0 for nil.
+func StatusOf(err error) int {
+	if err == nil {
+		return 0
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Status
+	}
+	return 500
+}
+
+// IsServerBusy reports whether err is a throttle rejection (ServerBusy or
+// one of the account-level rate errors). Clients are expected to back off
+// and retry, which is exactly what the paper's benchmark does (sleep one
+// second, retry).
+func IsServerBusy(err error) bool {
+	switch CodeOf(err) {
+	case CodeServerBusy, CodeAccountTransactionLimit, CodeAccountBandwidthLimit:
+		return true
+	}
+	return false
+}
+
+// IsNotFound reports whether err denotes a missing resource of any kind.
+func IsNotFound(err error) bool {
+	switch CodeOf(err) {
+	case CodeResourceNotFound, CodeContainerNotFound, CodeBlobNotFound,
+		CodeQueueNotFound, CodeMessageNotFound, CodeTableNotFound,
+		CodeEntityNotFound, CodeSnapshotNotFound:
+		return true
+	}
+	return false
+}
+
+// IsConflict reports whether err denotes an already-existing resource.
+func IsConflict(err error) bool {
+	switch CodeOf(err) {
+	case CodeResourceAlreadyExists, CodeContainerAlreadyExists,
+		CodeBlobAlreadyExists, CodeQueueAlreadyExists,
+		CodeTableAlreadyExists, CodeEntityAlreadyExists:
+		return true
+	}
+	return false
+}
+
+// IsPreconditionFailed reports whether err is an ETag/condition failure.
+func IsPreconditionFailed(err error) bool {
+	switch CodeOf(err) {
+	case CodeConditionNotMet, CodeUpdateConditionNotMet, CodePopReceiptMismatch:
+		return true
+	}
+	return false
+}

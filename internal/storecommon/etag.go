@@ -1,0 +1,31 @@
+package storecommon
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ETagGen produces strictly increasing entity tags. Azure's real ETags are
+// timestamp-derived; a counter component keeps ours unique even when the
+// virtual clock does not advance between mutations. ETagGen is safe for
+// concurrent use.
+type ETagGen struct {
+	counter atomic.Uint64
+}
+
+// Next returns a fresh ETag incorporating now.
+func (g *ETagGen) Next(now time.Time) string {
+	n := g.counter.Add(1)
+	return fmt.Sprintf("W/\"datetime'%s';%d\"", now.UTC().Format("2006-01-02T15:04:05.0000000Z"), n)
+}
+
+// ETagAny is the wildcard ETag: a condition of ETagAny matches any current
+// tag (the paper's benchmark uses unconditional updates via "*").
+const ETagAny = "*"
+
+// ETagMatches reports whether a request condition matches the stored tag.
+// An empty condition means "no condition" and matches.
+func ETagMatches(condition, stored string) bool {
+	return condition == "" || condition == ETagAny || condition == stored
+}

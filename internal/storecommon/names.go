@@ -1,0 +1,93 @@
+package storecommon
+
+import "strings"
+
+// ValidateContainerName checks Azure blob-container naming rules: 3–63
+// characters, lowercase letters, digits and single dashes, starting and
+// ending with a letter or digit.
+func ValidateContainerName(name string) error {
+	return validateDNSName(name, "container")
+}
+
+// ValidateQueueName checks Azure queue naming rules (same as containers).
+func ValidateQueueName(name string) error {
+	return validateDNSName(name, "queue")
+}
+
+func validateDNSName(name, kind string) error {
+	if len(name) < 3 || len(name) > 63 {
+		return Errf(CodeInvalidResourceName, 400, "%s name %q must be 3-63 characters", kind, name)
+	}
+	prevDash := true // disallow leading dash
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			prevDash = false
+		case c == '-':
+			if prevDash {
+				return Errf(CodeInvalidResourceName, 400, "%s name %q has leading or consecutive dashes", kind, name)
+			}
+			prevDash = true
+		default:
+			return Errf(CodeInvalidResourceName, 400, "%s name %q contains invalid character %q", kind, name, c)
+		}
+	}
+	if strings.HasSuffix(name, "-") {
+		return Errf(CodeInvalidResourceName, 400, "%s name %q ends with a dash", kind, name)
+	}
+	return nil
+}
+
+// ValidateBlobName checks blob naming rules: 1–1024 characters, no path
+// segment of "." or "..", and no trailing slash.
+func ValidateBlobName(name string) error {
+	if len(name) == 0 || len(name) > 1024 {
+		return Errf(CodeInvalidResourceName, 400, "blob name must be 1-1024 characters")
+	}
+	if strings.HasSuffix(name, "/") {
+		return Errf(CodeInvalidResourceName, 400, "blob name %q ends with a slash", name)
+	}
+	for _, seg := range strings.Split(name, "/") {
+		if seg == "." || seg == ".." {
+			return Errf(CodeInvalidResourceName, 400, "blob name %q contains a relative path segment", name)
+		}
+	}
+	return nil
+}
+
+// ValidateTableName checks Azure table naming rules: 3–63 alphanumeric
+// characters beginning with a letter.
+func ValidateTableName(name string) error {
+	if len(name) < 3 || len(name) > 63 {
+		return Errf(CodeInvalidResourceName, 400, "table name %q must be 3-63 characters", name)
+	}
+	c0 := name[0]
+	if !(c0 >= 'a' && c0 <= 'z' || c0 >= 'A' && c0 <= 'Z') {
+		return Errf(CodeInvalidResourceName, 400, "table name %q must begin with a letter", name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			return Errf(CodeInvalidResourceName, 400, "table name %q contains invalid character %q", name, c)
+		}
+	}
+	return nil
+}
+
+// ValidateKey checks a table partition or row key: at most 1 KB and free of
+// the characters Azure forbids (/, \, #, ?) and control characters.
+func ValidateKey(key, kind string) error {
+	if len(key) > 1*KB {
+		return Errf(CodeInvalidInput, 400, "%s key exceeds 1 KB", kind)
+	}
+	for i := 0; i < len(key); i++ {
+		switch c := key[i]; {
+		case c == '/' || c == '\\' || c == '#' || c == '?':
+			return Errf(CodeInvalidInput, 400, "%s key %q contains forbidden character %q", kind, key, c)
+		case c < 0x20 || c == 0x7f:
+			return Errf(CodeInvalidInput, 400, "%s key %q contains control character", kind, key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package storecommon
+
+import "time"
+
+// Debit removes n tokens unconditionally, allowing the balance to go
+// negative. It models post-hoc metering (e.g. response bandwidth that is
+// only known after the request was admitted): future Allow calls are
+// rejected until the deficit refills.
+func (l *RateLimiter) Debit(now time.Duration, n float64) {
+	l.refill(now)
+	l.tokens -= n
+}

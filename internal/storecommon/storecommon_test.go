@@ -1,0 +1,239 @@
+package storecommon
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestErrorFormatting(t *testing.T) {
+	err := Errf(CodeBlobNotFound, 404, "blob %q missing", "x")
+	want := `BlobNotFound (404): blob "x" missing`
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestCodeOfAndStatusOf(t *testing.T) {
+	err := fmt.Errorf("wrapped: %w", Errf(CodeServerBusy, 503, "busy"))
+	if CodeOf(err) != CodeServerBusy {
+		t.Fatalf("CodeOf = %q", CodeOf(err))
+	}
+	if StatusOf(err) != 503 {
+		t.Fatalf("StatusOf = %d", StatusOf(err))
+	}
+	if CodeOf(errors.New("plain")) != "" {
+		t.Fatal("CodeOf(plain) != \"\"")
+	}
+	if StatusOf(errors.New("plain")) != 500 {
+		t.Fatal("StatusOf(plain) != 500")
+	}
+	if StatusOf(nil) != 0 {
+		t.Fatal("StatusOf(nil) != 0")
+	}
+}
+
+func TestErrorPredicates(t *testing.T) {
+	cases := []struct {
+		code                              Code
+		busy, notFound, conflict, precond bool
+	}{
+		{CodeServerBusy, true, false, false, false},
+		{CodeAccountTransactionLimit, true, false, false, false},
+		{CodeAccountBandwidthLimit, true, false, false, false},
+		{CodeBlobNotFound, false, true, false, false},
+		{CodeQueueNotFound, false, true, false, false},
+		{CodeEntityNotFound, false, true, false, false},
+		{CodeContainerAlreadyExists, false, false, true, false},
+		{CodeEntityAlreadyExists, false, false, true, false},
+		{CodeConditionNotMet, false, false, false, true},
+		{CodeUpdateConditionNotMet, false, false, false, true},
+		{CodePopReceiptMismatch, false, false, false, true},
+		{CodeInvalidInput, false, false, false, false},
+	}
+	for _, c := range cases {
+		err := Errf(c.code, 400, "x")
+		if IsServerBusy(err) != c.busy {
+			t.Errorf("IsServerBusy(%s) = %v", c.code, !c.busy)
+		}
+		if IsNotFound(err) != c.notFound {
+			t.Errorf("IsNotFound(%s) = %v", c.code, !c.notFound)
+		}
+		if IsConflict(err) != c.conflict {
+			t.Errorf("IsConflict(%s) = %v", c.code, !c.conflict)
+		}
+		if IsPreconditionFailed(err) != c.precond {
+			t.Errorf("IsPreconditionFailed(%s) = %v", c.code, !c.precond)
+		}
+	}
+}
+
+func TestValidateContainerName(t *testing.T) {
+	valid := []string{"abc", "my-container", "a1b2c3", "x0-1-2", strings.Repeat("a", 63)}
+	for _, name := range valid {
+		if err := ValidateContainerName(name); err != nil {
+			t.Errorf("ValidateContainerName(%q) = %v, want nil", name, err)
+		}
+	}
+	invalid := []string{"", "ab", strings.Repeat("a", 64), "Abc", "-abc", "abc-", "a--b", "a_b", "a.b", "a b"}
+	for _, name := range invalid {
+		if err := ValidateContainerName(name); err == nil {
+			t.Errorf("ValidateContainerName(%q) = nil, want error", name)
+		}
+	}
+}
+
+func TestValidateQueueName(t *testing.T) {
+	if err := ValidateQueueName("azurebench-queue-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateQueueName("UPPER"); err == nil {
+		t.Fatal("uppercase queue name accepted")
+	}
+}
+
+func TestValidateBlobName(t *testing.T) {
+	valid := []string{"b", "dir/sub/blob.bin", strings.Repeat("x", 1024), "UPPER and spaces"}
+	for _, name := range valid {
+		if err := ValidateBlobName(name); err != nil {
+			t.Errorf("ValidateBlobName(%q) = %v", name, err)
+		}
+	}
+	invalid := []string{"", strings.Repeat("x", 1025), "dir/", "a/./b", "a/../b"}
+	for _, name := range invalid {
+		if err := ValidateBlobName(name); err == nil {
+			t.Errorf("ValidateBlobName(%q) accepted", name)
+		}
+	}
+}
+
+func TestValidateTableName(t *testing.T) {
+	valid := []string{"abc", "AzureBenchTable", "T0123"}
+	for _, name := range valid {
+		if err := ValidateTableName(name); err != nil {
+			t.Errorf("ValidateTableName(%q) = %v", name, err)
+		}
+	}
+	invalid := []string{"", "ab", "0abc", "my-table", strings.Repeat("a", 64)}
+	for _, name := range invalid {
+		if err := ValidateTableName(name); err == nil {
+			t.Errorf("ValidateTableName(%q) accepted", name)
+		}
+	}
+}
+
+func TestValidateKey(t *testing.T) {
+	if err := ValidateKey("worker-07", "partition"); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a/b", `a\b`, "a#b", "a?b", "a\x01b", strings.Repeat("k", KB+1)} {
+		if err := ValidateKey(k, "row"); err == nil {
+			t.Errorf("ValidateKey(%q) accepted", k)
+		}
+	}
+}
+
+func TestETagGenMonotonicUnique(t *testing.T) {
+	var g ETagGen
+	now := time.Date(2012, 5, 21, 0, 0, 0, 0, time.UTC)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		tag := g.Next(now) // same timestamp: counter must disambiguate
+		if seen[tag] {
+			t.Fatalf("duplicate ETag %q", tag)
+		}
+		seen[tag] = true
+	}
+}
+
+func TestETagMatches(t *testing.T) {
+	if !ETagMatches("", "abc") {
+		t.Error("empty condition should match")
+	}
+	if !ETagMatches(ETagAny, "abc") {
+		t.Error("wildcard should match")
+	}
+	if !ETagMatches("abc", "abc") {
+		t.Error("equal tags should match")
+	}
+	if ETagMatches("abc", "def") {
+		t.Error("different tags matched")
+	}
+}
+
+func TestRateLimiterBasics(t *testing.T) {
+	l := NewRateLimiter(10, 5) // 10/s, burst 5
+	now := time.Duration(0)
+	for i := 0; i < 5; i++ {
+		if !l.Allow(now, 1) {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if l.Allow(now, 1) {
+		t.Fatal("6th token allowed with empty bucket")
+	}
+	// After 100ms one token refills.
+	now += 100 * time.Millisecond
+	if !l.Allow(now, 1) {
+		t.Fatal("token after refill denied")
+	}
+	if l.Allow(now, 1) {
+		t.Fatal("second token allowed after single refill")
+	}
+}
+
+func TestRateLimiterCapsAtBurst(t *testing.T) {
+	l := NewRateLimiter(1000, 3)
+	if got := l.Tokens(time.Hour); got != 3 {
+		t.Fatalf("Tokens = %v, want burst cap 3", got)
+	}
+}
+
+func TestRateLimiterSustainedRate(t *testing.T) {
+	// Admitted ops over a long window must approximate rate*window.
+	l := NewRateLimiter(500, 500)
+	admitted := 0
+	for ms := 0; ms < 10_000; ms++ {
+		if l.Allow(time.Duration(ms)*time.Millisecond, 1) {
+			admitted++
+		}
+	}
+	// 10s at 500/s = 5000 plus initial burst 500.
+	if admitted < 5400 || admitted > 5600 {
+		t.Fatalf("admitted = %d, want ~5500", admitted)
+	}
+}
+
+func TestRateLimiterPropertyNeverExceedsBudget(t *testing.T) {
+	if err := quick.Check(func(seed int64, steps uint8) bool {
+		l := NewRateLimiter(100, 10)
+		now := time.Duration(0)
+		admitted := 0.0
+		n := int(steps%100) + 1
+		s := seed
+		for i := 0; i < n; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			now += time.Duration(uint64(s) % uint64(50*time.Millisecond))
+			if l.Allow(now, 1) {
+				admitted++
+			}
+		}
+		// Total admitted must never exceed burst + rate * elapsed.
+		budget := 10 + 100*now.Seconds() + 1e-9
+		return admitted <= budget
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateLimiterBadParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero rate")
+		}
+	}()
+	NewRateLimiter(0, 1)
+}

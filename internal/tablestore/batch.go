@@ -1,0 +1,162 @@
+package tablestore
+
+import (
+	"azurebench/internal/storecommon"
+)
+
+// BatchOpKind enumerates the operations allowed in an entity-group
+// transaction.
+type BatchOpKind int
+
+// Batch operation kinds.
+const (
+	BatchInsert BatchOpKind = iota
+	BatchInsertOrReplace
+	BatchInsertOrMerge
+	BatchReplace
+	BatchMerge
+	BatchDelete
+)
+
+// BatchOp is one operation of an entity-group transaction.
+type BatchOp struct {
+	Kind    BatchOpKind
+	Entity  *Entity // for Delete only PartitionKey/RowKey are used
+	IfMatch string  // ETag condition for Replace/Merge/Delete
+}
+
+// ExecuteBatch runs an entity-group transaction: up to 100 operations, all
+// on the same partition, each row key at most once, executed atomically —
+// if any operation fails, no operation is applied and the failing index is
+// reported.
+func (s *Store) ExecuteBatch(tableName string, ops []BatchOp) (failedIndex int, err error) {
+	if len(ops) == 0 {
+		return -1, storecommon.Errf(storecommon.CodeInvalidInput, 400, "empty batch")
+	}
+	if len(ops) > storecommon.MaxBatchOperations {
+		return -1, storecommon.Errf(storecommon.CodeBatchTooManyOperations, 400,
+			"batch of %d operations exceeds %d", len(ops), storecommon.MaxBatchOperations)
+	}
+	pk := ops[0].Entity.PartitionKey
+	seen := map[string]bool{}
+	var payloadSize int64
+	for i, op := range ops {
+		if op.Entity == nil {
+			return i, storecommon.Errf(storecommon.CodeInvalidInput, 400, "batch op %d has no entity", i)
+		}
+		if op.Entity.PartitionKey != pk {
+			return i, storecommon.Errf(storecommon.CodeBatchPartitionMismatch, 400,
+				"batch op %d targets partition %q, batch is for %q", i, op.Entity.PartitionKey, pk)
+		}
+		if seen[op.Entity.RowKey] {
+			return i, storecommon.Errf(storecommon.CodeBatchDuplicateRowKey, 400,
+				"row key %q appears twice in batch", op.Entity.RowKey)
+		}
+		seen[op.Entity.RowKey] = true
+		payloadSize += op.Entity.Size()
+	}
+	if payloadSize > storecommon.MaxBatchPayload {
+		return -1, storecommon.Errf(storecommon.CodeRequestBodyTooLarge, 413,
+			"batch payload of %d bytes exceeds %d", payloadSize, storecommon.MaxBatchPayload)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return -1, tableNotFound(tableName)
+	}
+
+	// Validate every operation against current state before mutating
+	// anything (atomicity): batches are small, so the two-pass approach is
+	// simpler than journaling undo records.
+	p := t.partitions[pk]
+	current := map[string]*Entity{}
+	if p != nil {
+		for rk, e := range p.rows {
+			current[rk] = e
+		}
+	}
+	staged := map[string]*Entity{} // rk -> new entity (nil = delete)
+	for i, op := range ops {
+		e := op.Entity
+		if op.Kind != BatchDelete {
+			if err := validateEntity(e); err != nil {
+				return i, err
+			}
+		}
+		old, exists := current[e.RowKey]
+		switch op.Kind {
+		case BatchInsert:
+			if exists {
+				return i, storecommon.Errf(storecommon.CodeEntityAlreadyExists, 409,
+					"entity (%q,%q) already exists", pk, e.RowKey)
+			}
+			staged[e.RowKey] = e.Clone()
+		case BatchInsertOrReplace:
+			staged[e.RowKey] = e.Clone()
+		case BatchInsertOrMerge:
+			merged := e.Clone()
+			if exists {
+				for k, v := range old.Props {
+					if _, shadowed := merged.Props[k]; !shadowed {
+						merged.Props[k] = v
+					}
+				}
+				if err := validateEntity(merged); err != nil {
+					return i, err
+				}
+			}
+			staged[e.RowKey] = merged
+		case BatchReplace, BatchMerge:
+			if !exists {
+				return i, entityNotFound(pk, e.RowKey)
+			}
+			if !storecommon.ETagMatches(op.IfMatch, old.ETag) {
+				return i, updateConditionNotMet(e)
+			}
+			next := e.Clone()
+			if op.Kind == BatchMerge {
+				for k, v := range old.Props {
+					if _, shadowed := next.Props[k]; !shadowed {
+						next.Props[k] = v
+					}
+				}
+				if err := validateEntity(next); err != nil {
+					return i, err
+				}
+			}
+			staged[e.RowKey] = next
+		case BatchDelete:
+			if !exists {
+				return i, entityNotFound(pk, e.RowKey)
+			}
+			if !storecommon.ETagMatches(op.IfMatch, old.ETag) {
+				return i, updateConditionNotMet(e)
+			}
+			staged[e.RowKey] = nil
+		default:
+			return i, storecommon.Errf(storecommon.CodeInvalidInput, 400, "unknown batch kind %d", op.Kind)
+		}
+		// Later ops in the same batch do not see earlier staged writes
+		// (each row key appears at most once, so this cannot matter).
+	}
+
+	// Commit.
+	if p == nil {
+		p = &partition{rows: map[string]*Entity{}}
+		t.partitions[pk] = p
+	}
+	for rk, e := range staged {
+		if e == nil {
+			delete(p.rows, rk)
+			continue
+		}
+		s.stamp(e)
+		p.rows[rk] = e
+	}
+	if len(p.rows) == 0 {
+		delete(t.partitions, pk)
+	}
+	return -1, nil
+}

@@ -1,0 +1,105 @@
+package tablestore
+
+import (
+	"fmt"
+	"testing"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/vclock"
+)
+
+func benchStore(b *testing.B, rows int) *Store {
+	b.Helper()
+	s := New(vclock.Real{})
+	if err := s.CreateTable("bench"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		e := &Entity{
+			PartitionKey: fmt.Sprintf("p%d", i%8),
+			RowKey:       fmt.Sprintf("r%06d", i),
+			Props: map[string]Value{
+				"N":    Int32(int32(i)),
+				"Data": Binary(payload.Synthetic(uint64(i), 256)),
+			},
+		}
+		if _, err := s.Insert("bench", e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := New(vclock.Real{})
+	if err := s.CreateTable("bench"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &Entity{
+			PartitionKey: "p",
+			RowKey:       fmt.Sprintf("r%09d", i),
+			Props:        map[string]Value{"Data": Binary(payload.Synthetic(uint64(i), 1024))},
+		}
+		if _, err := s.Insert("bench", e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointGet(b *testing.B) {
+	s := benchStore(b, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("bench", fmt.Sprintf("p%d", i%8), fmt.Sprintf("r%06d", i%10_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilteredQuery(b *testing.B) {
+	s := benchStore(b, 2_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Query("bench", "N ge 1990", 0, Continuation{})
+		if err != nil || len(res.Entities) != 10 {
+			b.Fatalf("query = %d entities, %v", len(res.Entities), err)
+		}
+	}
+}
+
+func BenchmarkFilterParse(b *testing.B) {
+	const src = "PartitionKey eq 'worker-042' and (Size gt 1024 or Active eq true) and not Name eq 'x'"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFilter(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchInsert100(b *testing.B) {
+	s := New(vclock.Real{})
+	if err := s.CreateTable("bench"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops := make([]BatchOp, 100)
+		for j := range ops {
+			ops[j] = BatchOp{
+				Kind:   BatchInsert,
+				Entity: &Entity{PartitionKey: "p", RowKey: fmt.Sprintf("i%d-r%d", i, j)},
+			}
+		}
+		if idx, err := s.ExecuteBatch("bench", ops); err != nil {
+			b.Fatalf("batch failed at %d: %v", idx, err)
+		}
+	}
+}

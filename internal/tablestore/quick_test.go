@@ -1,0 +1,108 @@
+package tablestore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"azurebench/internal/storecommon"
+	"azurebench/internal/vclock"
+)
+
+// TestQuickAgainstReferenceModel drives the table engine with random CRUD
+// sequences and cross-checks against a plain map reference. Invariants
+// verified after every operation:
+//
+//   - the engine's success/failure matches the reference's view of
+//     existence (insert fails iff present; replace/delete fail iff absent);
+//   - Get returns exactly the reference's value;
+//   - EntityCount matches the reference's size;
+//   - QueryAll returns exactly the reference's keys in (pk, rk) order.
+func TestQuickAgainstReferenceModel(t *testing.T) {
+	type op struct {
+		Kind uint8 // 0 insert, 1 replace, 2 delete, 3 get, 4 upsert
+		PK   uint8
+		RK   uint8
+		Val  int32
+	}
+	f := func(ops []op) bool {
+		s := New(&vclock.Manual{})
+		if err := s.CreateTable("modelt"); err != nil {
+			return false
+		}
+		type key struct{ pk, rk string }
+		ref := map[key]int32{}
+
+		for _, o := range ops {
+			pk := fmt.Sprintf("p%d", o.PK%5)
+			rk := fmt.Sprintf("r%d", o.RK%8)
+			k := key{pk, rk}
+			e := &Entity{PartitionKey: pk, RowKey: rk, Props: map[string]Value{"V": Int32(o.Val)}}
+			_, exists := ref[k]
+			switch o.Kind % 5 {
+			case 0: // insert
+				_, err := s.Insert("modelt", e)
+				if exists != storecommon.IsConflict(err) {
+					return false
+				}
+				if err == nil {
+					ref[k] = o.Val
+				}
+			case 1: // replace (unconditional)
+				_, err := s.Replace("modelt", e, storecommon.ETagAny)
+				if exists == storecommon.IsNotFound(err) {
+					return false
+				}
+				if err == nil {
+					ref[k] = o.Val
+				}
+			case 2: // delete
+				err := s.Delete("modelt", pk, rk, storecommon.ETagAny)
+				if exists == storecommon.IsNotFound(err) {
+					return false
+				}
+				if err == nil {
+					delete(ref, k)
+				}
+			case 3: // get
+				got, err := s.Get("modelt", pk, rk)
+				if exists {
+					if err != nil || got.Props["V"].I != int64(ref[k]) {
+						return false
+					}
+				} else if !storecommon.IsNotFound(err) {
+					return false
+				}
+			case 4: // upsert
+				if _, err := s.InsertOrReplace("modelt", e); err != nil {
+					return false
+				}
+				ref[k] = o.Val
+			}
+			if n, _ := s.EntityCount("modelt"); n != len(ref) {
+				return false
+			}
+		}
+		// Final full-scan equivalence.
+		all, err := s.QueryAll("modelt", "")
+		if err != nil || len(all) != len(ref) {
+			return false
+		}
+		prev := ""
+		for _, e := range all {
+			want, ok := ref[key{e.PartitionKey, e.RowKey}]
+			if !ok || e.Props["V"].I != int64(want) {
+				return false
+			}
+			cur := e.PartitionKey + "\x00" + e.RowKey
+			if cur <= prev && prev != "" {
+				return false // scan order violated
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,451 @@
+// Package tablestore implements the Windows Azure Table storage engine:
+// schemaless tables of entities addressed by (PartitionKey, RowKey), with
+// typed properties, optimistic concurrency via ETags (including the "*"
+// wildcard the paper's benchmark uses for unconditional updates), an
+// OData-subset query filter language, continuation tokens, and atomic
+// entity-group batch transactions within a partition.
+package tablestore
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"azurebench/internal/storecommon"
+	"azurebench/internal/vclock"
+)
+
+// Entity is a table row: two keys plus up to 255 typed properties.
+// PartitionKey decides placement (entities sharing it live on one
+// partition server); together with RowKey it forms the unique primary key.
+type Entity struct {
+	PartitionKey string
+	RowKey       string
+	Timestamp    time.Time
+	ETag         string
+	Props        map[string]Value
+}
+
+// Clone returns a deep-enough copy (Values are immutable).
+func (e *Entity) Clone() *Entity {
+	props := make(map[string]Value, len(e.Props))
+	for k, v := range e.Props {
+		props[k] = v
+	}
+	c := *e
+	c.Props = props
+	return &c
+}
+
+// Size returns the entity's size against the 1 MB limit.
+func (e *Entity) Size() int64 {
+	n := int64(len(e.PartitionKey) + len(e.RowKey))
+	for k, v := range e.Props {
+		n += int64(len(k)) + v.Size()
+	}
+	return n
+}
+
+// Store is an in-memory table storage account. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	clock  vclock.Clock
+	etags  storecommon.ETagGen
+	tables map[string]*table
+}
+
+type table struct {
+	name       string
+	partitions map[string]*partition
+}
+
+type partition struct {
+	rows map[string]*Entity
+}
+
+// New creates an empty table store.
+func New(clock vclock.Clock) *Store {
+	return &Store{clock: clock, tables: map[string]*table{}}
+}
+
+// CreateTable creates a table.
+func (s *Store) CreateTable(name string) error {
+	if err := storecommon.ValidateTableName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return storecommon.Errf(storecommon.CodeTableAlreadyExists, 409, "table %q already exists", name)
+	}
+	s.tables[name] = &table{name: name, partitions: map[string]*partition{}}
+	return nil
+}
+
+// CreateTableIfNotExists creates name if absent; reports whether created.
+func (s *Store) CreateTableIfNotExists(name string) (bool, error) {
+	err := s.CreateTable(name)
+	if storecommon.IsConflict(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// DeleteTable removes a table and all entities.
+func (s *Store) DeleteTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return tableNotFound(name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// TableExists reports whether the table exists.
+func (s *Store) TableExists(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.tables[name]
+	return ok
+}
+
+// ListTables returns table names with the given prefix, sorted.
+func (s *Store) ListTables(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for name := range s.tables {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert adds a new entity; it fails with EntityAlreadyExists when the
+// (PartitionKey, RowKey) pair is taken.
+func (s *Store) Insert(tableName string, e *Entity) (*Entity, error) {
+	return s.mutateInsert(tableName, e, insertStrict)
+}
+
+// InsertOrReplace upserts the entity, replacing all properties.
+func (s *Store) InsertOrReplace(tableName string, e *Entity) (*Entity, error) {
+	return s.mutateInsert(tableName, e, insertReplace)
+}
+
+// InsertOrMerge upserts the entity; existing properties not named in e are
+// preserved.
+func (s *Store) InsertOrMerge(tableName string, e *Entity) (*Entity, error) {
+	return s.mutateInsert(tableName, e, insertMerge)
+}
+
+type insertMode int
+
+const (
+	insertStrict insertMode = iota
+	insertReplace
+	insertMerge
+)
+
+func (s *Store) mutateInsert(tableName string, e *Entity, mode insertMode) (*Entity, error) {
+	if err := validateEntity(e); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, tableNotFound(tableName)
+	}
+	p := t.partitions[e.PartitionKey]
+	if p == nil {
+		p = &partition{rows: map[string]*Entity{}}
+		t.partitions[e.PartitionKey] = p
+	}
+	old, exists := p.rows[e.RowKey]
+	if exists && mode == insertStrict {
+		return nil, storecommon.Errf(storecommon.CodeEntityAlreadyExists, 409,
+			"entity (%q,%q) already exists", e.PartitionKey, e.RowKey)
+	}
+	stored := e.Clone()
+	if exists && mode == insertMerge {
+		for k, v := range old.Props {
+			if _, shadowed := stored.Props[k]; !shadowed {
+				stored.Props[k] = v
+			}
+		}
+		if err := validateEntity(stored); err != nil {
+			return nil, err
+		}
+	}
+	s.stamp(stored)
+	p.rows[e.RowKey] = stored
+	return stored.Clone(), nil
+}
+
+// Replace updates an existing entity, replacing all properties. ifMatch is
+// an ETag condition: the stored ETag, or "*" for unconditional replacement
+// (what the paper's update benchmark does). Empty means unconditional too.
+func (s *Store) Replace(tableName string, e *Entity, ifMatch string) (*Entity, error) {
+	return s.mutateUpdate(tableName, e, ifMatch, false)
+}
+
+// Merge updates an existing entity, preserving properties not named in e.
+func (s *Store) Merge(tableName string, e *Entity, ifMatch string) (*Entity, error) {
+	return s.mutateUpdate(tableName, e, ifMatch, true)
+}
+
+func (s *Store) mutateUpdate(tableName string, e *Entity, ifMatch string, merge bool) (*Entity, error) {
+	if err := validateEntity(e); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, tableNotFound(tableName)
+	}
+	old, err := t.find(e.PartitionKey, e.RowKey)
+	if err != nil {
+		return nil, err
+	}
+	if !storecommon.ETagMatches(ifMatch, old.ETag) {
+		return nil, updateConditionNotMet(e)
+	}
+	stored := e.Clone()
+	if merge {
+		for k, v := range old.Props {
+			if _, shadowed := stored.Props[k]; !shadowed {
+				stored.Props[k] = v
+			}
+		}
+		if err := validateEntity(stored); err != nil {
+			return nil, err
+		}
+	}
+	s.stamp(stored)
+	t.partitions[e.PartitionKey].rows[e.RowKey] = stored
+	return stored.Clone(), nil
+}
+
+// Delete removes an entity under an ETag condition ("" or "*" for
+// unconditional).
+func (s *Store) Delete(tableName, partitionKey, rowKey, ifMatch string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return tableNotFound(tableName)
+	}
+	old, err := t.find(partitionKey, rowKey)
+	if err != nil {
+		return err
+	}
+	if !storecommon.ETagMatches(ifMatch, old.ETag) {
+		return updateConditionNotMet(old)
+	}
+	p := t.partitions[partitionKey]
+	delete(p.rows, rowKey)
+	if len(p.rows) == 0 {
+		delete(t.partitions, partitionKey)
+	}
+	return nil
+}
+
+// Get retrieves one entity by its primary key (a point query).
+func (s *Store) Get(tableName, partitionKey, rowKey string) (*Entity, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, tableNotFound(tableName)
+	}
+	e, err := t.find(partitionKey, rowKey)
+	if err != nil {
+		return nil, err
+	}
+	return e.Clone(), nil
+}
+
+// Continuation marks where a query page ended; pass it back to resume.
+// The zero value means "from the beginning".
+type Continuation struct {
+	NextPartitionKey string
+	NextRowKey       string
+}
+
+// IsZero reports whether the continuation is the beginning-of-table mark.
+func (c Continuation) IsZero() bool { return c.NextPartitionKey == "" && c.NextRowKey == "" }
+
+// QueryResult is one page of query results.
+type QueryResult struct {
+	Entities []*Entity
+	// Next is non-zero when more results are available.
+	Next Continuation
+}
+
+// Query scans the table in (PartitionKey, RowKey) order, returning
+// entities matching filter (an OData-subset expression; empty matches
+// everything). top bounds the page size; 0 means the service maximum
+// (1000). Matching resumes from the continuation mark.
+func (s *Store) Query(tableName, filter string, top int, from Continuation) (QueryResult, error) {
+	var expr *FilterExpr
+	if filter != "" {
+		var err error
+		expr, err = ParseFilter(filter)
+		if err != nil {
+			return QueryResult{}, err
+		}
+	}
+	if top <= 0 || top > storecommon.MaxQueryPageSize {
+		top = storecommon.MaxQueryPageSize
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return QueryResult{}, tableNotFound(tableName)
+	}
+	pks := make([]string, 0, len(t.partitions))
+	for pk := range t.partitions {
+		pks = append(pks, pk)
+	}
+	sort.Strings(pks)
+	var res QueryResult
+	for _, pk := range pks {
+		if pk < from.NextPartitionKey {
+			continue
+		}
+		p := t.partitions[pk]
+		rks := make([]string, 0, len(p.rows))
+		for rk := range p.rows {
+			rks = append(rks, rk)
+		}
+		sort.Strings(rks)
+		for _, rk := range rks {
+			if pk == from.NextPartitionKey && rk < from.NextRowKey {
+				continue
+			}
+			e := p.rows[rk]
+			if expr != nil {
+				match, err := expr.Eval(e)
+				if err != nil {
+					return QueryResult{}, err
+				}
+				if !match {
+					continue
+				}
+			}
+			if len(res.Entities) == top {
+				res.Next = Continuation{NextPartitionKey: pk, NextRowKey: rk}
+				return res, nil
+			}
+			res.Entities = append(res.Entities, e.Clone())
+		}
+	}
+	return res, nil
+}
+
+// QueryAll drains a query across continuation pages.
+func (s *Store) QueryAll(tableName, filter string) ([]*Entity, error) {
+	var out []*Entity
+	var from Continuation
+	for {
+		page, err := s.Query(tableName, filter, 0, from)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page.Entities...)
+		if page.Next.IsZero() {
+			return out, nil
+		}
+		from = page.Next
+	}
+}
+
+// PartitionCount returns the number of non-empty partitions in the table
+// (placement information used by the simulated cloud).
+func (s *Store) PartitionCount(tableName string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return 0, tableNotFound(tableName)
+	}
+	return len(t.partitions), nil
+}
+
+// EntityCount returns the total number of entities in the table.
+func (s *Store) EntityCount(tableName string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return 0, tableNotFound(tableName)
+	}
+	n := 0
+	for _, p := range t.partitions {
+		n += len(p.rows)
+	}
+	return n, nil
+}
+
+func (t *table) find(pk, rk string) (*Entity, error) {
+	p, ok := t.partitions[pk]
+	if !ok {
+		return nil, entityNotFound(pk, rk)
+	}
+	e, ok := p.rows[rk]
+	if !ok {
+		return nil, entityNotFound(pk, rk)
+	}
+	return e, nil
+}
+
+func (s *Store) stamp(e *Entity) {
+	e.Timestamp = s.clock.Now()
+	e.ETag = s.etags.Next(e.Timestamp)
+}
+
+func validateEntity(e *Entity) error {
+	if err := storecommon.ValidateKey(e.PartitionKey, "partition"); err != nil {
+		return err
+	}
+	if err := storecommon.ValidateKey(e.RowKey, "row"); err != nil {
+		return err
+	}
+	if len(e.Props) > storecommon.MaxEntityProperties {
+		return storecommon.Errf(storecommon.CodePropertyLimitExceeded, 400,
+			"%d properties exceed the %d limit", len(e.Props), storecommon.MaxEntityProperties)
+	}
+	if size := e.Size(); size > storecommon.MaxEntitySize {
+		return storecommon.Errf(storecommon.CodeEntityTooLarge, 400,
+			"entity of %d bytes exceeds %d", size, storecommon.MaxEntitySize)
+	}
+	for name := range e.Props {
+		if name == "" || name == "PartitionKey" || name == "RowKey" || name == "Timestamp" {
+			return storecommon.Errf(storecommon.CodeInvalidInput, 400, "reserved or empty property name %q", name)
+		}
+	}
+	return nil
+}
+
+func tableNotFound(name string) error {
+	return storecommon.Errf(storecommon.CodeTableNotFound, 404, "table %q not found", name)
+}
+
+func entityNotFound(pk, rk string) error {
+	return storecommon.Errf(storecommon.CodeEntityNotFound, 404, "entity (%q,%q) not found", pk, rk)
+}
+
+func updateConditionNotMet(e *Entity) error {
+	return storecommon.Errf(storecommon.CodeUpdateConditionNotMet, 412,
+		"etag condition failed for (%q,%q)", e.PartitionKey, e.RowKey)
+}

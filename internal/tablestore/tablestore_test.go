@@ -1,0 +1,319 @@
+package tablestore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/vclock"
+)
+
+func newTestStore() (*Store, *vclock.Manual) {
+	clk := &vclock.Manual{}
+	s := New(clk)
+	if err := s.CreateTable("bench"); err != nil {
+		panic(err)
+	}
+	return s, clk
+}
+
+func ent(pk, rk string, props map[string]Value) *Entity {
+	return &Entity{PartitionKey: pk, RowKey: rk, Props: props}
+}
+
+func TestCreateDeleteTable(t *testing.T) {
+	s := New(&vclock.Manual{})
+	if err := s.CreateTable("MyTable"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("MyTable"); !storecommon.IsConflict(err) {
+		t.Fatalf("duplicate = %v", err)
+	}
+	if err := s.CreateTable("1bad"); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	if !s.TableExists("MyTable") {
+		t.Fatal("table missing")
+	}
+	if err := s.DeleteTable("MyTable"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteTable("MyTable"); !storecommon.IsNotFound(err) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestInsertGetRoundTrip(t *testing.T) {
+	s, _ := newTestStore()
+	in := ent("p1", "r1", map[string]Value{
+		"Name":   String("worker"),
+		"Count":  Int32(7),
+		"Big":    Int64(1 << 40),
+		"Ratio":  Double(0.25),
+		"Active": Bool(true),
+		"Data":   Binary(payload.Synthetic(1, 64)),
+	})
+	stored, err := s.Insert("bench", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.ETag == "" || stored.Timestamp.IsZero() {
+		t.Fatalf("missing system properties: %+v", stored)
+	}
+	got, err := s.Get("bench", "p1", "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range in.Props {
+		if !got.Props[name].Equal(want) {
+			t.Errorf("prop %s = %#v, want %#v", name, got.Props[name], want)
+		}
+	}
+}
+
+func TestInsertDuplicateFails(t *testing.T) {
+	s, _ := newTestStore()
+	if _, err := s.Insert("bench", ent("p", "r", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("bench", ent("p", "r", nil)); !storecommon.IsConflict(err) {
+		t.Fatalf("duplicate insert = %v", err)
+	}
+}
+
+func TestInsertOrReplaceAndMerge(t *testing.T) {
+	s, _ := newTestStore()
+	if _, err := s.Insert("bench", ent("p", "r", map[string]Value{"A": Int32(1), "B": Int32(2)})); err != nil {
+		t.Fatal(err)
+	}
+	// Replace drops unnamed properties.
+	if _, err := s.InsertOrReplace("bench", ent("p", "r", map[string]Value{"A": Int32(10)})); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get("bench", "p", "r")
+	if _, ok := got.Props["B"]; ok {
+		t.Fatal("replace preserved property B")
+	}
+	// Merge preserves them.
+	if _, err := s.InsertOrMerge("bench", ent("p", "r", map[string]Value{"C": Int32(3)})); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get("bench", "p", "r")
+	if got.Props["A"].I != 10 || got.Props["C"].I != 3 {
+		t.Fatalf("merge result = %v", got.Props)
+	}
+	// Upsert on missing entity inserts.
+	if _, err := s.InsertOrMerge("bench", ent("p", "new", map[string]Value{"X": Int32(1)})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceETagSemantics(t *testing.T) {
+	s, _ := newTestStore()
+	v1, err := s.Insert("bench", ent("p", "r", map[string]Value{"V": Int32(1)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wildcard update always succeeds — the paper's unconditional update.
+	v2, err := s.Replace("bench", ent("p", "r", map[string]Value{"V": Int32(2)}), storecommon.ETagAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale ETag fails.
+	if _, err := s.Replace("bench", ent("p", "r", map[string]Value{"V": Int32(3)}), v1.ETag); !storecommon.IsPreconditionFailed(err) {
+		t.Fatalf("stale etag replace = %v", err)
+	}
+	// Matching ETag succeeds.
+	if _, err := s.Replace("bench", ent("p", "r", map[string]Value{"V": Int32(3)}), v2.ETag); err != nil {
+		t.Fatal(err)
+	}
+	// Replace of a missing entity fails.
+	if _, err := s.Replace("bench", ent("p", "absent", nil), storecommon.ETagAny); !storecommon.IsNotFound(err) {
+		t.Fatalf("replace missing = %v", err)
+	}
+}
+
+func TestMergePreservesProperties(t *testing.T) {
+	s, _ := newTestStore()
+	if _, err := s.Insert("bench", ent("p", "r", map[string]Value{"Keep": String("yes"), "Change": Int32(1)})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Merge("bench", ent("p", "r", map[string]Value{"Change": Int32(2)}), storecommon.ETagAny); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get("bench", "p", "r")
+	if got.Props["Keep"].S != "yes" || got.Props["Change"].I != 2 {
+		t.Fatalf("merge = %v", got.Props)
+	}
+}
+
+func TestDeleteEntity(t *testing.T) {
+	s, _ := newTestStore()
+	v1, _ := s.Insert("bench", ent("p", "r", nil))
+	if err := s.Delete("bench", "p", "r", "bogus-etag"); !storecommon.IsPreconditionFailed(err) {
+		t.Fatalf("delete with wrong etag = %v", err)
+	}
+	if err := s.Delete("bench", "p", "r", v1.ETag); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("bench", "p", "r"); !storecommon.IsNotFound(err) {
+		t.Fatalf("get after delete = %v", err)
+	}
+	if err := s.Delete("bench", "p", "r", storecommon.ETagAny); !storecommon.IsNotFound(err) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestEntityValidation(t *testing.T) {
+	s, _ := newTestStore()
+	// Too many properties.
+	many := map[string]Value{}
+	for i := 0; i < storecommon.MaxEntityProperties+1; i++ {
+		many[fmt.Sprintf("P%03d", i)] = Int32(1)
+	}
+	if _, err := s.Insert("bench", ent("p", "r", many)); storecommon.CodeOf(err) != storecommon.CodePropertyLimitExceeded {
+		t.Fatalf("256 properties = %v", err)
+	}
+	// Too large.
+	big := map[string]Value{"Data": Binary(payload.Zero(storecommon.MaxEntitySize + 1))}
+	if _, err := s.Insert("bench", ent("p", "r", big)); storecommon.CodeOf(err) != storecommon.CodeEntityTooLarge {
+		t.Fatalf("oversized = %v", err)
+	}
+	// Reserved property name.
+	if _, err := s.Insert("bench", ent("p", "r", map[string]Value{"PartitionKey": String("x")})); err == nil {
+		t.Fatal("reserved property accepted")
+	}
+	// Forbidden key characters.
+	if _, err := s.Insert("bench", ent("p/1", "r", nil)); err == nil {
+		t.Fatal("slash in partition key accepted")
+	}
+}
+
+func TestQueryOrderingAndPaging(t *testing.T) {
+	s, _ := newTestStore()
+	for _, pk := range []string{"b", "a"} {
+		for i := 2; i >= 0; i-- {
+			if _, err := s.Insert("bench", ent(pk, fmt.Sprintf("r%d", i), nil)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	page1, err := s.Query("bench", "", 4, Continuation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1.Entities) != 4 || page1.Next.IsZero() {
+		t.Fatalf("page1 = %d entities, next=%v", len(page1.Entities), page1.Next)
+	}
+	wantOrder := []string{"a/r0", "a/r1", "a/r2", "b/r0"}
+	for i, e := range page1.Entities {
+		if got := e.PartitionKey + "/" + e.RowKey; got != wantOrder[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, got, wantOrder[i])
+		}
+	}
+	page2, err := s.Query("bench", "", 4, page1.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page2.Entities) != 2 || !page2.Next.IsZero() {
+		t.Fatalf("page2 = %d entities, next=%v", len(page2.Entities), page2.Next)
+	}
+}
+
+func TestQueryAllDrainsContinuations(t *testing.T) {
+	s, _ := newTestStore()
+	const n = 2500 // three service pages
+	for i := 0; i < n; i++ {
+		if _, err := s.Insert("bench", ent("p", fmt.Sprintf("r%06d", i), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := s.QueryAll("bench", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != n {
+		t.Fatalf("QueryAll = %d entities, want %d", len(all), n)
+	}
+}
+
+func TestQueryWithFilter(t *testing.T) {
+	s, _ := newTestStore()
+	for i := 0; i < 10; i++ {
+		props := map[string]Value{"Index": Int32(int32(i)), "Even": Bool(i%2 == 0)}
+		if _, err := s.Insert("bench", ent(fmt.Sprintf("p%d", i%2), fmt.Sprintf("r%d", i), props)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.QueryAll("bench", "PartitionKey eq 'p0' and Index ge 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 { // indices 4, 6, 8
+		t.Fatalf("filtered = %d entities, want 3", len(got))
+	}
+	// Bad filter surfaces InvalidQuery.
+	if _, err := s.Query("bench", "Index eq eq 3", 0, Continuation{}); storecommon.CodeOf(err) != storecommon.CodeInvalidQuery {
+		t.Fatalf("bad filter = %v", err)
+	}
+}
+
+func TestPartitionAndEntityCounts(t *testing.T) {
+	s, _ := newTestStore()
+	for w := 0; w < 4; w++ {
+		for r := 0; r < 5; r++ {
+			if _, err := s.Insert("bench", ent(fmt.Sprintf("w%d", w), fmt.Sprintf("r%d", r), nil)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if n, _ := s.PartitionCount("bench"); n != 4 {
+		t.Fatalf("partitions = %d", n)
+	}
+	if n, _ := s.EntityCount("bench"); n != 20 {
+		t.Fatalf("entities = %d", n)
+	}
+	// Deleting the last row of a partition removes the partition.
+	for r := 0; r < 5; r++ {
+		if err := s.Delete("bench", "w0", fmt.Sprintf("r%d", r), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := s.PartitionCount("bench"); n != 3 {
+		t.Fatalf("partitions after drain = %d", n)
+	}
+}
+
+func TestTimestampAdvances(t *testing.T) {
+	s, clk := newTestStore()
+	v1, _ := s.Insert("bench", ent("p", "r", nil))
+	clk.Advance(time.Minute)
+	v2, _ := s.Replace("bench", ent("p", "r", nil), storecommon.ETagAny)
+	if !v2.Timestamp.After(v1.Timestamp) {
+		t.Fatal("timestamp did not advance")
+	}
+	if v1.ETag == v2.ETag {
+		t.Fatal("etag did not rotate")
+	}
+}
+
+func TestStoredEntityIsIsolatedFromCaller(t *testing.T) {
+	s, _ := newTestStore()
+	props := map[string]Value{"A": Int32(1)}
+	if _, err := s.Insert("bench", ent("p", "r", props)); err != nil {
+		t.Fatal(err)
+	}
+	props["A"] = Int32(99) // mutate caller's map after insert
+	got, _ := s.Get("bench", "p", "r")
+	if got.Props["A"].I != 1 {
+		t.Fatal("stored entity aliased caller's property map")
+	}
+	// Mutating the returned entity must not affect the store either.
+	got.Props["A"] = Int32(50)
+	again, _ := s.Get("bench", "p", "r")
+	if again.Props["A"].I != 1 {
+		t.Fatal("returned entity aliased stored property map")
+	}
+}

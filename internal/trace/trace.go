@@ -1,0 +1,207 @@
+// Package trace records storage operations as they execute — the
+// observability layer of the simulated cloud. Experiments and examples can
+// attach a Log to a cloud (cloud.SetTrace) and afterwards render per-op
+// summaries or ops-per-second timelines, which is how the performance
+// model's behaviour is debugged when a figure comes out wrong.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op is one recorded storage operation.
+type Op struct {
+	Start    time.Duration // virtual (or wall-offset) start time
+	Duration time.Duration
+	Client   string
+	Service  string // blob | queue | table | cache | mgmt
+	Name     string // e.g. PutBlock
+	Bytes    int64  // payload bytes moved (both directions)
+	Err      string // storage error code, "" on success
+}
+
+// Log is a bounded in-memory operation log. It is safe for concurrent
+// use. When the capacity is exceeded the oldest entries are dropped (and
+// counted).
+type Log struct {
+	mu      sync.Mutex
+	cap     int
+	ops     []Op
+	dropped uint64
+	firstAt time.Duration
+	lastAt  time.Duration
+}
+
+// New creates a log bounded to capacity entries (<=0 means 1<<20).
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &Log{cap: capacity}
+}
+
+// Record appends one operation.
+func (l *Log) Record(op Op) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ops) == 0 || op.Start < l.firstAt {
+		l.firstAt = op.Start
+	}
+	if end := op.Start + op.Duration; end > l.lastAt {
+		l.lastAt = end
+	}
+	if len(l.ops) >= l.cap {
+		// Drop the oldest half rather than shifting per insert.
+		half := len(l.ops) / 2
+		copy(l.ops, l.ops[half:])
+		l.ops = l.ops[:len(l.ops)-half]
+		l.dropped += uint64(half)
+	}
+	l.ops = append(l.ops, op)
+}
+
+// Len returns the number of retained operations.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ops)
+}
+
+// Dropped returns how many operations were evicted by the capacity bound.
+func (l *Log) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Ops returns a copy of the retained operations in record order.
+func (l *Log) Ops() []Op {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Op, len(l.ops))
+	copy(out, l.ops)
+	return out
+}
+
+// Reset clears the log.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ops = l.ops[:0]
+	l.dropped = 0
+	l.firstAt, l.lastAt = 0, 0
+}
+
+// rowKey groups summary rows.
+type rowKey struct {
+	service string
+	name    string
+}
+
+// SummaryRow is one aggregate line of Summary.
+type SummaryRow struct {
+	Service string
+	Name    string
+	Count   int
+	Errors  int
+	Bytes   int64
+	Total   time.Duration
+	Mean    time.Duration
+	Max     time.Duration
+}
+
+// Rows aggregates the log per (service, operation), sorted by service
+// then operation.
+func (l *Log) Rows() []SummaryRow {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	agg := map[rowKey]*SummaryRow{}
+	for _, op := range l.ops {
+		k := rowKey{op.Service, op.Name}
+		r := agg[k]
+		if r == nil {
+			r = &SummaryRow{Service: op.Service, Name: op.Name}
+			agg[k] = r
+		}
+		r.Count++
+		if op.Err != "" {
+			r.Errors++
+		}
+		r.Bytes += op.Bytes
+		r.Total += op.Duration
+		if op.Duration > r.Max {
+			r.Max = op.Duration
+		}
+	}
+	var out []SummaryRow
+	for _, r := range agg {
+		r.Mean = r.Total / time.Duration(r.Count)
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service != out[j].Service {
+			return out[i].Service < out[j].Service
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Summary renders the per-op aggregates as an aligned text table.
+func (l *Log) Summary() string {
+	rows := l.Rows()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %-16s %8s %6s %12s %12s %12s\n",
+		"service", "op", "count", "errs", "bytes", "mean", "max")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-7s %-16s %8d %6d %12d %12s %12s\n",
+			r.Service, r.Name, r.Count, r.Errors, r.Bytes,
+			r.Mean.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	}
+	if d := l.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "(%d older operations dropped by the capacity bound)\n", d)
+	}
+	return b.String()
+}
+
+// TimelinePoint is one bucket of the ops-per-second timeline.
+type TimelinePoint struct {
+	At   time.Duration
+	Ops  int
+	Errs int
+}
+
+// Timeline buckets operation starts into windows of the given width.
+func (l *Log) Timeline(bucket time.Duration) []TimelinePoint {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ops) == 0 {
+		return nil
+	}
+	counts := map[int64]*TimelinePoint{}
+	for _, op := range l.ops {
+		idx := int64(op.Start / bucket)
+		pt := counts[idx]
+		if pt == nil {
+			pt = &TimelinePoint{At: time.Duration(idx) * bucket}
+			counts[idx] = pt
+		}
+		pt.Ops++
+		if op.Err != "" {
+			pt.Errs++
+		}
+	}
+	var out []TimelinePoint
+	for _, pt := range counts {
+		out = append(out, *pt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndRows(t *testing.T) {
+	l := New(100)
+	l.Record(Op{Start: 0, Duration: 10 * time.Millisecond, Service: "blob", Name: "PutBlock", Bytes: 100})
+	l.Record(Op{Start: time.Second, Duration: 30 * time.Millisecond, Service: "blob", Name: "PutBlock", Bytes: 200})
+	l.Record(Op{Start: 2 * time.Second, Duration: 5 * time.Millisecond, Service: "queue", Name: "PutMessage", Err: "ServerBusy"})
+	rows := l.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Sorted by service then name: blob/PutBlock first.
+	pb := rows[0]
+	if pb.Service != "blob" || pb.Count != 2 || pb.Bytes != 300 {
+		t.Fatalf("blob row = %+v", pb)
+	}
+	if pb.Mean != 20*time.Millisecond || pb.Max != 30*time.Millisecond {
+		t.Fatalf("blob stats = %+v", pb)
+	}
+	if rows[1].Errors != 1 {
+		t.Fatalf("queue row = %+v", rows[1])
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	l := New(10)
+	l.Record(Op{Duration: time.Millisecond, Service: "table", Name: "InsertEntity"})
+	s := l.Summary()
+	if !strings.Contains(s, "table") || !strings.Contains(s, "InsertEntity") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestCapacityBoundDropsOldest(t *testing.T) {
+	l := New(10)
+	for i := 0; i < 25; i++ {
+		l.Record(Op{Start: time.Duration(i), Name: "op"})
+	}
+	if l.Len() > 10 {
+		t.Fatalf("len = %d, cap 10", l.Len())
+	}
+	if l.Dropped() == 0 {
+		t.Fatal("no drops recorded")
+	}
+	// Newest op must be retained.
+	ops := l.Ops()
+	if ops[len(ops)-1].Start != 24 {
+		t.Fatalf("newest op lost: %+v", ops[len(ops)-1])
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	l := New(100)
+	for i := 0; i < 10; i++ {
+		l.Record(Op{Start: time.Duration(i) * 300 * time.Millisecond})
+	}
+	pts := l.Timeline(time.Second)
+	if len(pts) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(pts))
+	}
+	total := 0
+	for _, pt := range pts {
+		total += pt.Ops
+	}
+	if total != 10 {
+		t.Fatalf("total ops = %d", total)
+	}
+	if pts[0].At != 0 || pts[1].At != time.Second {
+		t.Fatalf("bucket starts = %v, %v", pts[0].At, pts[1].At)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := New(10)
+	l.Record(Op{Name: "x"})
+	l.Reset()
+	if l.Len() != 0 || l.Dropped() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	l := New(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(Op{Name: "op", Duration: time.Microsecond})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	if pts := New(10).Timeline(time.Second); pts != nil {
+		t.Fatalf("empty timeline = %v", pts)
+	}
+}

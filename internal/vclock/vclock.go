@@ -1,0 +1,67 @@
+// Package vclock abstracts the source of time so that the storage engines
+// can run both under the discrete-event simulator (virtual time) and in
+// live mode (wall-clock time) with identical semantics for TTLs, visibility
+// timeouts and timestamps.
+package vclock
+
+import (
+	"sync"
+	"time"
+
+	"azurebench/internal/sim"
+)
+
+// Epoch is the simulated start-of-time used by simulation and manual
+// clocks. A fixed epoch keeps simulated timestamps reproducible.
+var Epoch = time.Date(2012, time.May, 21, 0, 0, 0, 0, time.UTC)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real is a wall-clock Clock.
+type Real struct{}
+
+// Now returns the current wall-clock time.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sim derives time from a simulation environment: Epoch plus the virtual
+// clock.
+type Sim struct {
+	Env *sim.Env
+}
+
+// NewSim returns a Clock driven by env's virtual time.
+func NewSim(env *sim.Env) Sim { return Sim{Env: env} }
+
+// Now returns Epoch + virtual time.
+func (s Sim) Now() time.Time { return Epoch.Add(s.Env.Now()) }
+
+// Manual is a hand-advanced clock for tests. The zero value starts at
+// Epoch. Manual is safe for concurrent use.
+type Manual struct {
+	mu  sync.Mutex
+	off time.Duration
+}
+
+// Now returns Epoch plus the accumulated offset.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Epoch.Add(m.off)
+}
+
+// Advance moves the clock forward by d.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.off += d
+}
+
+// Set positions the clock at Epoch+d.
+func (m *Manual) Set(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.off = d
+}

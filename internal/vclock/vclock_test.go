@@ -1,0 +1,45 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+
+	"azurebench/internal/sim"
+)
+
+func TestSimClockTracksEnv(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := NewSim(env)
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("start = %v, want %v", c.Now(), Epoch)
+	}
+	env.Go("p", func(p *sim.Proc) { p.Sleep(90 * time.Second) })
+	env.Run()
+	if got, want := c.Now(), Epoch.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("after run = %v, want %v", got, want)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	var m Manual
+	if !m.Now().Equal(Epoch) {
+		t.Fatalf("zero Manual = %v, want %v", m.Now(), Epoch)
+	}
+	m.Advance(time.Hour)
+	if got := m.Now(); !got.Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("after advance = %v", got)
+	}
+	m.Set(time.Minute)
+	if got := m.Now(); !got.Equal(Epoch.Add(time.Minute)) {
+		t.Fatalf("after set = %v", got)
+	}
+}
+
+func TestRealClockMoves(t *testing.T) {
+	var r Real
+	a := r.Now()
+	b := r.Now()
+	if b.Before(a) {
+		t.Fatal("real clock went backwards")
+	}
+}

@@ -1,0 +1,205 @@
+// Package workload provides YCSB-style workload generation for driving
+// the storage services: key-choice distributions (uniform, zipfian with
+// the classic θ=0.99 constant, latest), the standard A–F operation mixes,
+// and seeded record payloads. The paper predates YCSB's ubiquity but its
+// successors (and the AzureBench roadmap's "benchmarking suited for other
+// cloud offerings") standardised on exactly these mixes, so the live load
+// generator speaks them.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/sim"
+)
+
+// OpKind is one benchmark operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String names the op.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpScan:
+		return "scan"
+	case OpReadModifyWrite:
+		return "rmw"
+	}
+	return "?"
+}
+
+// Mix is an operation mix in percent (summing to 100).
+type Mix struct {
+	Name   string
+	Read   int
+	Update int
+	Insert int
+	Scan   int
+	RMW    int
+}
+
+// The standard YCSB core workloads.
+var (
+	WorkloadA = Mix{Name: "A (update heavy)", Read: 50, Update: 50}
+	WorkloadB = Mix{Name: "B (read mostly)", Read: 95, Update: 5}
+	WorkloadC = Mix{Name: "C (read only)", Read: 100}
+	WorkloadD = Mix{Name: "D (read latest)", Read: 95, Insert: 5}
+	WorkloadE = Mix{Name: "E (short ranges)", Scan: 95, Insert: 5}
+	WorkloadF = Mix{Name: "F (read-modify-write)", Read: 50, RMW: 50}
+)
+
+// MixByName resolves "a".."f".
+func MixByName(name string) (Mix, error) {
+	switch name {
+	case "a", "A":
+		return WorkloadA, nil
+	case "b", "B":
+		return WorkloadB, nil
+	case "c", "C":
+		return WorkloadC, nil
+	case "d", "D":
+		return WorkloadD, nil
+	case "e", "E":
+		return WorkloadE, nil
+	case "f", "F":
+		return WorkloadF, nil
+	}
+	return Mix{}, fmt.Errorf("unknown workload %q (want a-f)", name)
+}
+
+// Pick draws an operation kind according to the mix.
+func (m Mix) Pick(r *sim.Rand) OpKind {
+	v := r.Intn(100)
+	switch {
+	case v < m.Read:
+		return OpRead
+	case v < m.Read+m.Update:
+		return OpUpdate
+	case v < m.Read+m.Update+m.Insert:
+		return OpInsert
+	case v < m.Read+m.Update+m.Insert+m.Scan:
+		return OpScan
+	default:
+		return OpReadModifyWrite
+	}
+}
+
+// KeyChooser selects record indices.
+type KeyChooser interface {
+	// Next returns an index in [0, n) where n is the current record count.
+	Next(n int) int
+}
+
+// Uniform chooses keys uniformly.
+type Uniform struct{ R *sim.Rand }
+
+// Next implements KeyChooser.
+func (u Uniform) Next(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return u.R.Intn(n)
+}
+
+// Zipf chooses keys with the YCSB zipfian distribution (θ = 0.99 by
+// default): a few hot keys receive most of the traffic. The implementation
+// follows Gray et al.'s "Quickly generating billion-record synthetic
+// databases" rejection-free formula, recomputing constants when the range
+// grows.
+type Zipf struct {
+	r     *sim.Rand
+	theta float64
+
+	n     int
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf returns a zipfian chooser over growing ranges with parameter
+// theta (0 < theta < 1); YCSB uses 0.99.
+func NewZipf(r *sim.Rand, theta float64) *Zipf {
+	if theta <= 0 || theta >= 1 {
+		theta = 0.99
+	}
+	z := &Zipf{r: r, theta: theta}
+	z.zeta2 = zetaStatic(2, theta)
+	return z
+}
+
+// Next implements KeyChooser.
+func (z *Zipf) Next(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n != z.n {
+		z.n = n
+		z.zetan = zetaStatic(n, z.theta)
+		z.alpha = 1.0 / (1.0 - z.theta)
+		z.eta = (1 - math.Pow(2.0/float64(n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+	}
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := int(float64(n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+func zetaStatic(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Latest prefers recently inserted keys (YCSB workload D's chooser): the
+// zipfian distribution over the reversed index space.
+type Latest struct{ Z *Zipf }
+
+// NewLatest returns a latest-skewed chooser.
+func NewLatest(r *sim.Rand, theta float64) *Latest {
+	return &Latest{Z: NewZipf(r, theta)}
+}
+
+// Next implements KeyChooser.
+func (l *Latest) Next(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n - 1 - l.Z.Next(n)
+}
+
+// Record builds the payload of record i with the given size: content is a
+// pure function of (seed, i), so verification needs no stored copy.
+func Record(seed uint64, i int, size int64) payload.Payload {
+	return payload.Synthetic(seed^uint64(i)*0x9e3779b97f4a7c15, size)
+}
+
+// Key renders the canonical record key of index i.
+func Key(i int) string { return fmt.Sprintf("user%010d", i) }

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"azurebench/internal/payload"
+	"azurebench/internal/sim"
+)
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"a", "b", "c", "d", "e", "f", "A", "F"} {
+		if _, err := MixByName(name); err != nil {
+			t.Errorf("MixByName(%q): %v", name, err)
+		}
+	}
+	if _, err := MixByName("z"); err == nil {
+		t.Error("MixByName(z) accepted")
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	r := sim.NewRand(1)
+	counts := map[OpKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[WorkloadB.Pick(r)]++
+	}
+	readFrac := float64(counts[OpRead]) / n
+	if readFrac < 0.93 || readFrac > 0.97 {
+		t.Fatalf("workload B read fraction = %v, want ~0.95", readFrac)
+	}
+	if counts[OpInsert]+counts[OpScan]+counts[OpReadModifyWrite] != 0 {
+		t.Fatalf("workload B emitted unexpected ops: %v", counts)
+	}
+}
+
+func TestMixesSumTo100(t *testing.T) {
+	for _, m := range []Mix{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF} {
+		if s := m.Read + m.Update + m.Insert + m.Scan + m.RMW; s != 100 {
+			t.Errorf("%s sums to %d", m.Name, s)
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	u := Uniform{R: sim.NewRand(2)}
+	for i := 0; i < 10000; i++ {
+		v := u.Next(37)
+		if v < 0 || v >= 37 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+	}
+	if u.Next(0) != 0 {
+		t.Fatal("Next(0) != 0")
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	z := NewZipf(sim.NewRand(3), 0.99)
+	const n, draws = 1000, 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := z.Next(n)
+		if v < 0 || v >= n {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Key 0 must be the hottest, and dramatically hotter than the median.
+	for i := 1; i < n; i++ {
+		if counts[i] > counts[0] {
+			t.Fatalf("key %d (%d draws) hotter than key 0 (%d)", i, counts[i], counts[0])
+		}
+	}
+	if counts[0] < draws/100 {
+		t.Fatalf("key 0 drew only %d of %d (not skewed)", counts[0], draws)
+	}
+	// Top-10 keys should hold a large share of all traffic under θ=0.99.
+	top := 0
+	for i := 0; i < 10; i++ {
+		top += counts[i]
+	}
+	if float64(top)/draws < 0.15 {
+		t.Fatalf("top-10 share = %v, want >= 0.15", float64(top)/draws)
+	}
+}
+
+func TestZipfGrowingRange(t *testing.T) {
+	z := NewZipf(sim.NewRand(4), 0.99)
+	for n := 1; n < 100; n++ {
+		v := z.Next(n)
+		if v < 0 || v >= n {
+			t.Fatalf("zipf out of growing range: %d of %d", v, n)
+		}
+	}
+}
+
+func TestLatestPrefersRecent(t *testing.T) {
+	l := NewLatest(sim.NewRand(5), 0.99)
+	const n, draws = 1000, 100000
+	newer, older := 0, 0
+	for i := 0; i < draws; i++ {
+		v := l.Next(n)
+		if v < 0 || v >= n {
+			t.Fatalf("latest out of range: %d", v)
+		}
+		if v >= n/2 {
+			newer++
+		} else {
+			older++
+		}
+	}
+	if newer <= older*2 {
+		t.Fatalf("latest chooser not recent-skewed: newer=%d older=%d", newer, older)
+	}
+}
+
+func TestRecordDeterministicAndDistinct(t *testing.T) {
+	a := Record(1, 7, 128)
+	b := Record(1, 7, 128)
+	c := Record(1, 8, 128)
+	if !payload.Equal(a, b) {
+		t.Fatal("same record differs")
+	}
+	if payload.Equal(a, c) {
+		t.Fatal("different records identical")
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if Key(42) != "user0000000042" {
+		t.Fatalf("Key(42) = %q", Key(42))
+	}
+}
