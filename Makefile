@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench results quick examples clean
+.PHONY: all build vet test race bench results quick examples check clean
 
 all: build vet test
+
+# Everything CI runs.
+check: build vet test race
 
 build:
 	$(GO) build ./...

@@ -32,6 +32,7 @@ func main() {
 		workers    = flag.String("workers", "", "override worker sweep, e.g. 1,8,64")
 		traceOps   = flag.Bool("trace", false, "print a per-operation trace summary after each experiment")
 		outDir     = flag.String("o", "", "also write per-experiment .txt and .csv files into this directory")
+		faultRates = flag.String("faultrates", "", "override the faults experiment's rate sweep, e.g. 0,0.01,0.05")
 	)
 	flag.Parse()
 
@@ -56,6 +57,13 @@ func main() {
 			fatalf("bad -workers: %v", err)
 		}
 		cfg.Workers = sweep
+	}
+	if *faultRates != "" {
+		rates, err := parseFloats(*faultRates)
+		if err != nil {
+			fatalf("bad -faultrates: %v", err)
+		}
+		cfg.FaultRates = rates
 	}
 	suite := core.NewSuite(cfg)
 
@@ -119,6 +127,21 @@ func parseInts(s string) ([]int, error) {
 			return nil, fmt.Errorf("worker count %d < 1", n)
 		}
 		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("fault rate %g outside [0, 1]", f)
+		}
+		out = append(out, f)
 	}
 	return out, nil
 }

@@ -15,6 +15,7 @@ func (cl *Client) CreateContainer(p *sim.Proc, name string) error {
 	rs := cl.cloud.blobReplicas(name, "")
 	return cl.do(p, request{
 		op:      "CreateContainer",
+		mut:     true,
 		service: "blob",
 		up:      reqHeader,
 		server:  rs.primary(),
@@ -30,6 +31,7 @@ func (cl *Client) CreateContainerIfNotExists(p *sim.Proc, name string) (bool, er
 	created := false
 	err := cl.do(p, request{
 		op:      "CreateContainerIfNotExists",
+		mut:     true,
 		service: "blob",
 		up:      reqHeader,
 		server:  rs.primary(),
@@ -47,6 +49,7 @@ func (cl *Client) DeleteContainer(p *sim.Proc, name string) error {
 	rs := cl.cloud.blobReplicas(name, "")
 	return cl.do(p, request{
 		op:      "DeleteContainer",
+		mut:     true,
 		service: "blob",
 		up:      reqHeader,
 		server:  rs.primary(),
@@ -61,6 +64,7 @@ func (cl *Client) PutBlock(p *sim.Proc, container, blob, blockID string, data pa
 	rs := cl.cloud.blobReplicas(container, blob)
 	return cl.do(p, request{
 		op:      "PutBlock",
+		mut:     true,
 		service: "blob",
 		up:      data.Len() + reqHeader,
 		server:  rs.primary(),
@@ -76,6 +80,7 @@ func (cl *Client) PutBlockList(p *sim.Proc, container, blob string, refs []blobs
 	rs := cl.cloud.blobReplicas(container, blob)
 	return cl.do(p, request{
 		op:      "PutBlockList",
+		mut:     true,
 		service: "blob",
 		up:      int64(len(refs))*72 + reqHeader,
 		server:  rs.primary(),
@@ -91,6 +96,7 @@ func (cl *Client) UploadBlockBlob(p *sim.Proc, container, blob string, data payl
 	rs := cl.cloud.blobReplicas(container, blob)
 	return cl.do(p, request{
 		op:      "UploadBlockBlob",
+		mut:     true,
 		service: "blob",
 		up:      data.Len() + reqHeader,
 		server:  rs.primary(),
@@ -128,6 +134,7 @@ func (cl *Client) CreatePageBlob(p *sim.Proc, container, blob string, size int64
 	rs := cl.cloud.blobReplicas(container, blob)
 	return cl.do(p, request{
 		op:      "CreatePageBlob",
+		mut:     true,
 		service: "blob",
 		up:      reqHeader,
 		server:  rs.primary(),
@@ -143,6 +150,7 @@ func (cl *Client) PutPage(p *sim.Proc, container, blob string, off int64, data p
 	rs := cl.cloud.blobReplicas(container, blob)
 	return cl.do(p, request{
 		op:      "PutPage",
+		mut:     true,
 		service: "blob",
 		up:      data.Len() + reqHeader,
 		server:  rs.primary(),
@@ -223,6 +231,7 @@ func (cl *Client) DeleteBlob(p *sim.Proc, container, blob string) error {
 	rs := cl.cloud.blobReplicas(container, blob)
 	return cl.do(p, request{
 		op:      "DeleteBlob",
+		mut:     true,
 		service: "blob",
 		up:      reqHeader,
 		server:  rs.primary(),

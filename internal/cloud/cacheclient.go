@@ -34,6 +34,7 @@ func (c *Cloud) cacheServer(cache, key string) *sim.Resource {
 func (cl *Client) CreateCache(p *sim.Proc, name string) error {
 	return cl.do(p, request{
 		op:      "CreateCache",
+		mut:     true,
 		service: "cache",
 		up:      reqHeader,
 		server:  cl.cloud.cacheServer(name, ""),
@@ -50,6 +51,7 @@ func (cl *Client) CachePut(p *sim.Proc, cache, key string, value payload.Payload
 	var version uint64
 	err := cl.do(p, request{
 		op:      "CachePut",
+		mut:     true,
 		service: "cache",
 		up:      value.Len() + reqHeader,
 		server:  cl.cloud.cacheServer(cache, key),
@@ -93,6 +95,7 @@ func (cl *Client) CacheRemove(p *sim.Proc, cache, key string) (bool, error) {
 	var existed bool
 	err := cl.do(p, request{
 		op:      "CacheRemove",
+		mut:     true,
 		service: "cache",
 		up:      reqHeader,
 		server:  cl.cloud.cacheServer(cache, key),
@@ -114,6 +117,7 @@ func (cl *Client) CacheGetAndLock(p *sim.Proc, cache, key string, d time.Duratio
 	)
 	err := cl.do(p, request{
 		op:      "CacheGetAndLock",
+		mut:     true,
 		service: "cache",
 		up:      reqHeader,
 		server:  cl.cloud.cacheServer(cache, key),
@@ -136,6 +140,7 @@ func (cl *Client) CachePutAndUnlock(p *sim.Proc, cache, key string, value payloa
 	var version uint64
 	err := cl.do(p, request{
 		op:      "CachePutAndUnlock",
+		mut:     true,
 		service: "cache",
 		up:      value.Len() + reqHeader,
 		server:  cl.cloud.cacheServer(cache, key),

@@ -19,8 +19,10 @@ import (
 
 	"azurebench/internal/blobstore"
 	"azurebench/internal/cachestore"
+	"azurebench/internal/faults"
 	"azurebench/internal/model"
 	"azurebench/internal/queuestore"
+	"azurebench/internal/retry"
 	"azurebench/internal/sim"
 	"azurebench/internal/storecommon"
 	"azurebench/internal/tablestore"
@@ -58,9 +60,19 @@ type Cloud struct {
 	cacheSrv []*sim.Resource
 
 	traceLog *trace.Log
+	faults   *faults.Injector
 
 	stats Stats
 }
+
+// SetFaults attaches a fault injector; every subsequent request consults
+// it before touching the wire. Pass nil to disable fault injection (the
+// default). An injector with an empty plan is equivalent to nil: it never
+// injects and never perturbs the happy path.
+func (c *Cloud) SetFaults(in *faults.Injector) { c.faults = in }
+
+// Faults returns the attached fault injector (nil when injection is off).
+func (c *Cloud) Faults() *faults.Injector { return c.faults }
 
 // SetTrace attaches an operation log; every subsequent client operation is
 // recorded with its virtual start time, duration, payload bytes and error
@@ -77,6 +89,18 @@ type Stats struct {
 	BytesIn      int64  // client -> cloud payload bytes
 	BytesOut     int64  // cloud -> client payload bytes
 	ReplicaReads [8]uint64
+
+	// Fault-injection and resilience counters (all zero with faults off).
+	FaultTimeouts  uint64 // requests lost in the network (OperationTimedOut)
+	FaultInternals uint64 // partition-server InternalError 500s
+	FaultResets    uint64 // connections cut mid-transfer
+	FaultOutages   uint64 // requests rejected by an unavailability window
+	Retries        uint64 // retries performed via Client.Retry/WithRetry
+}
+
+// FaultsInjected returns the total faults injected across all kinds.
+func (s Stats) FaultsInjected() uint64 {
+	return s.FaultTimeouts + s.FaultInternals + s.FaultResets + s.FaultOutages
 }
 
 type replicaSet struct {
@@ -88,15 +112,15 @@ type replicaSet struct {
 func New(env *sim.Env, prm model.Params) *Cloud {
 	clock := vclock.NewSim(env)
 	return &Cloud{
-		env:        env,
-		prm:        prm,
-		clock:      clock,
-		Blob: blobstore.New(clock),
+		env:   env,
+		prm:   prm,
+		clock: clock,
+		Blob:  blobstore.New(clock),
 		// FIFO is not guaranteed by the real queue service (paper §IV-B);
 		// a small selection window reproduces the occasional reordering
 		// that motivates the paper's dedicated termination-indicator queue.
-		Queue: queuestore.NewWithConfig(clock, queuestore.Config{NonFIFOWindow: 4, Seed: 7}),
-		Table: tablestore.New(clock),
+		Queue:      queuestore.NewWithConfig(clock, queuestore.Config{NonFIFOWindow: 4, Seed: 7}),
+		Table:      tablestore.New(clock),
 		accountTx:  storecommon.NewRateLimiter(prm.AccountOpsPerSec, prm.AccountBurst),
 		accountBW:  storecommon.NewRateLimiter(prm.AccountBandwidthBps, prm.AccountBandwidthBurst),
 		blobSrv:    map[string]*replicaSet{},
@@ -213,6 +237,7 @@ type request struct {
 	op      string // operation name for tracing (e.g. "PutBlock")
 	service string // blob | queue | table | cache
 	up      int64  // request payload bytes
+	mut     bool   // mutation: injected faults must fire before the engine commits
 	server  *sim.Resource
 	queue   string // non-empty: charge the per-queue limiter
 	table   string // non-empty with part: charge the per-partition limiter
@@ -225,13 +250,31 @@ type request struct {
 	// Filled in by do for the trace record.
 	tracedDown int64
 	tracedErr  string
+	fault      string
 }
 
 var errServerBusy = storecommon.Errf(storecommon.CodeServerBusy, 503,
 	"operation was throttled (scalability target exceeded); back off and retry")
 
+// Injected-fault errors surfaced by the request pipeline.
+var (
+	errOpTimedOut = storecommon.Errf(storecommon.CodeOperationTimedOut, 500,
+		"the request was lost and timed out waiting for a response")
+	errInternalFault = storecommon.Errf(storecommon.CodeInternalError, 500,
+		"the partition server encountered an internal error processing the request")
+	errConnReset = storecommon.Errf(storecommon.CodeConnectionReset, 0,
+		"the connection was reset mid-transfer")
+	errServerUnavailable = storecommon.Errf(storecommon.CodeServerUnavailable, 503,
+		"the partition server is temporarily unavailable")
+)
+
 // do executes the request from process p, charging NIC transfer, network
-// round trip, throttles, server occupancy and pipeline latency.
+// round trip, throttles, server occupancy and pipeline latency. When a
+// fault injector is attached it seals the request's fate up front; faults
+// on mutations always fire before the engine commits (the operation is
+// lost, not half-applied), while a reset on a read cuts the response after
+// the engine has done its work — the at-least-once semantics real storage
+// clients must survive.
 func (cl *Client) do(p *sim.Proc, req request) error {
 	c := cl.cloud
 	prm := c.prm
@@ -248,15 +291,44 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 				Name:     req.op,
 				Bytes:    req.up + req.tracedDown,
 				Err:      req.tracedErr,
+				Fault:    req.fault,
 			})
 		}(start)
 	}
+	var dec faults.Decision
+	if c.faults != nil {
+		dec = c.faults.Decide(c.env.Now(), req.service, req.op, req.server.Name())
+	}
 	p.Sleep(prm.RequestOverhead)
+	if dec.Kind == faults.Reset && req.mut {
+		// The connection died while the request body was in flight: a
+		// prefix of the payload crossed the NIC, the engine saw nothing.
+		return cl.failReset(p, &req, int64(float64(req.up)*dec.Cut), true)
+	}
 	if req.up > 0 {
 		cl.nic.Use(p, model.Xfer(req.up, cl.vm.NICBps))
 		c.stats.BytesIn += req.up
 	}
 	p.Sleep(prm.RTT / 2)
+
+	switch dec.Kind {
+	case faults.Timeout:
+		// The request vanished in the network; the client waits out its
+		// timeout and gives up. Nothing downstream ever saw it.
+		c.stats.FaultTimeouts++
+		req.fault = dec.Kind.String()
+		req.tracedErr = string(storecommon.CodeOperationTimedOut)
+		p.Sleep(dec.Wait)
+		return errOpTimedOut
+	case faults.Outage:
+		// The partition server is inside an unavailability window; the
+		// front door answers 503 immediately.
+		c.stats.FaultOutages++
+		req.fault = dec.Kind.String()
+		req.tracedErr = string(storecommon.CodeServerUnavailable)
+		p.Sleep(prm.RTT / 2)
+		return errServerUnavailable
+	}
 
 	// Admission control at the front door.
 	now := c.env.Now()
@@ -280,6 +352,17 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 	}
 
 	req.server.Acquire(p)
+	if dec.Kind == faults.Internal {
+		// The server accepted the request but failed before handing it to
+		// the engine; it burns some occupancy, then the 500 travels back.
+		p.Sleep(dec.Occ)
+		req.server.Release()
+		c.stats.FaultInternals++
+		req.fault = dec.Kind.String()
+		req.tracedErr = string(storecommon.CodeInternalError)
+		p.Sleep(prm.RTT / 2)
+		return errInternalFault
+	}
 	occ, down, err := req.apply()
 	req.tracedDown = down
 	if err != nil {
@@ -295,6 +378,11 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 	}
 	p.Sleep(lat)
 	p.Sleep(prm.RTT / 2)
+	if dec.Kind == faults.Reset {
+		// Read-path reset: the engine did the work, but the response was
+		// cut mid-transfer; the truncated prefix still crossed the wire.
+		return cl.failReset(p, &req, int64(float64(down)*dec.Cut), false)
+	}
 	if down > 0 {
 		c.accountBW.Debit(c.env.Now(), float64(down))
 		cl.nic.Use(p, model.Xfer(down, cl.vm.NICBps))
@@ -303,25 +391,55 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 	return err
 }
 
+// failReset accounts the partial payload of a cut connection — part bytes
+// cross the client NIC (and the account bandwidth meter on the response
+// path) — and fails the request with ConnectionReset. up distinguishes a
+// request-body cut from a response cut.
+func (cl *Client) failReset(p *sim.Proc, req *request, part int64, up bool) error {
+	c := cl.cloud
+	if up {
+		req.up = part // the trace records what actually moved
+	} else {
+		req.tracedDown = part
+	}
+	if part > 0 {
+		cl.nic.Use(p, model.Xfer(part, cl.vm.NICBps))
+		if up {
+			c.stats.BytesIn += part
+		} else {
+			c.accountBW.Debit(c.env.Now(), float64(part))
+			c.stats.BytesOut += part
+		}
+	}
+	c.stats.FaultResets++
+	req.fault = faults.Reset.String()
+	req.tracedErr = string(storecommon.CodeConnectionReset)
+	return errConnReset
+}
+
 // --- Client ---
 
 // Client is the storage client of one role-instance VM. Each client owns
 // its VM's NIC; a client's methods must be called from simulation
 // processes (typically the role's own process).
 type Client struct {
-	cloud *Cloud
-	name  string
-	vm    model.VMSize
-	nic   *sim.Resource
+	cloud  *Cloud
+	name   string
+	vm     model.VMSize
+	nic    *sim.Resource
+	policy retry.Policy
 }
 
-// NewClient creates a client bound to a VM of the given size.
+// NewClient creates a client bound to a VM of the given size. Its default
+// retry policy is the paper's (fixed RetryBackoff sleep, ServerBusy only);
+// use SetRetryPolicy for the resilient discipline.
 func (c *Cloud) NewClient(name string, vm model.VMSize) *Client {
 	return &Client{
-		cloud: c,
-		name:  name,
-		vm:    vm,
-		nic:   sim.NewResource(c.env, "nic:"+name, 1),
+		cloud:  c,
+		name:   name,
+		vm:     vm,
+		nic:    sim.NewResource(c.env, "nic:"+name, 1),
+		policy: retry.Paper(c.prm.RetryBackoff),
 	}
 }
 
@@ -334,18 +452,40 @@ func (cl *Client) VM() model.VMSize { return cl.vm }
 // Cloud returns the owning cloud.
 func (cl *Client) Cloud() *Cloud { return cl.cloud }
 
-// WithRetry runs op, sleeping RetryBackoff and retrying whenever it is
-// throttled with ServerBusy — exactly the paper's "the worker sleeps for a
-// second before retrying the same operation". It returns the first
-// non-busy result and the number of retries performed.
+// SetRetryPolicy replaces the client's retry policy (used by WithRetry).
+func (cl *Client) SetRetryPolicy(pol retry.Policy) { cl.policy = pol }
+
+// RetryPolicy returns the client's retry policy.
+func (cl *Client) RetryPolicy() retry.Policy { return cl.policy }
+
+// WithRetry runs op under the client's retry policy. By default that is
+// the paper's discipline — sleep RetryBackoff and reissue whenever the
+// operation is throttled with ServerBusy ("the worker sleeps for a second
+// before retrying the same operation") — but unlike the paper's workers it
+// cannot spin forever: the policy caps attempts, so when the limiter never
+// recovers the last error is returned instead. It reports the retries
+// performed alongside the final result.
 func (cl *Client) WithRetry(p *sim.Proc, op func() error) (retries int, err error) {
+	return cl.Retry(p, cl.policy, op)
+}
+
+// Retry runs op under an explicit retry policy: it reissues while the
+// policy allows (classification, attempt cap, per-op deadline, shared
+// budget), sleeping the policy's backoff — jittered from the simulation
+// PRNG when the policy asks for jitter — between attempts. It returns the
+// number of retries performed and the final error (nil on success, the
+// last attempt's error once the policy gives up).
+func (cl *Client) Retry(p *sim.Proc, pol retry.Policy, op func() error) (retries int, err error) {
+	start := p.Now()
 	for {
 		err = op()
-		if !storecommon.IsServerBusy(err) {
+		if !pol.ShouldRetry(retries, p.Now()-start, err) {
 			return retries, err
 		}
+		d := pol.Delay(retries, func() float64 { return p.Rand().Float64() })
 		retries++
-		p.Sleep(cl.cloud.prm.RetryBackoff)
+		cl.cloud.stats.Retries++
+		p.Sleep(d)
 	}
 }
 

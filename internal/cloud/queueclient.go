@@ -13,6 +13,7 @@ import (
 func (cl *Client) CreateQueue(p *sim.Proc, name string) error {
 	return cl.do(p, request{
 		op:      "CreateQueue",
+		mut:     true,
 		service: "queue",
 		up:      reqHeader,
 		server:  cl.cloud.queueServer(name),
@@ -27,6 +28,7 @@ func (cl *Client) CreateQueueIfNotExists(p *sim.Proc, name string) (bool, error)
 	created := false
 	err := cl.do(p, request{
 		op:      "CreateQueueIfNotExists",
+		mut:     true,
 		service: "queue",
 		up:      reqHeader,
 		server:  cl.cloud.queueServer(name),
@@ -43,6 +45,7 @@ func (cl *Client) CreateQueueIfNotExists(p *sim.Proc, name string) (bool, error)
 func (cl *Client) DeleteQueue(p *sim.Proc, name string) error {
 	return cl.do(p, request{
 		op:      "DeleteQueue",
+		mut:     true,
 		service: "queue",
 		up:      reqHeader,
 		server:  cl.cloud.queueServer(name),
@@ -57,6 +60,7 @@ func (cl *Client) PutMessage(p *sim.Proc, name string, body payload.Payload) (qu
 	var msg queuestore.Message
 	err := cl.do(p, request{
 		op:      "PutMessage",
+		mut:     true,
 		service: "queue",
 		up:      body.Len() + reqHeader,
 		server:  cl.cloud.queueServer(name),
@@ -134,6 +138,7 @@ func (cl *Client) PeekMessage(p *sim.Proc, name string) (queuestore.Message, boo
 func (cl *Client) DeleteMessage(p *sim.Proc, name, msgID, popReceipt string) error {
 	return cl.do(p, request{
 		op:      "DeleteMessage",
+		mut:     true,
 		service: "queue",
 		up:      reqHeader,
 		server:  cl.cloud.queueServer(name),
@@ -151,6 +156,7 @@ func (cl *Client) UpdateMessage(p *sim.Proc, name, msgID, popReceipt string, bod
 	var msg queuestore.Message
 	err := cl.do(p, request{
 		op:      "UpdateMessage",
+		mut:     true,
 		service: "queue",
 		up:      body.Len() + reqHeader,
 		server:  cl.cloud.queueServer(name),
@@ -189,6 +195,7 @@ func (cl *Client) GetMessageCount(p *sim.Proc, name string) (int, error) {
 func (cl *Client) ClearQueue(p *sim.Proc, name string) error {
 	return cl.do(p, request{
 		op:      "ClearQueue",
+		mut:     true,
 		service: "queue",
 		up:      reqHeader,
 		server:  cl.cloud.queueServer(name),

@@ -13,6 +13,7 @@ import (
 func (cl *Client) CreateTable(p *sim.Proc, name string) error {
 	return cl.do(p, request{
 		op:      "CreateTable",
+		mut:     true,
 		service: "table",
 		up:      reqHeader,
 		server:  cl.cloud.tableServer(name, ""),
@@ -27,6 +28,7 @@ func (cl *Client) CreateTableIfNotExists(p *sim.Proc, name string) (bool, error)
 	created := false
 	err := cl.do(p, request{
 		op:      "CreateTableIfNotExists",
+		mut:     true,
 		service: "table",
 		up:      reqHeader,
 		server:  cl.cloud.tableServer(name, ""),
@@ -43,6 +45,7 @@ func (cl *Client) CreateTableIfNotExists(p *sim.Proc, name string) (bool, error)
 func (cl *Client) DeleteTable(p *sim.Proc, name string) error {
 	return cl.do(p, request{
 		op:      "DeleteTable",
+		mut:     true,
 		service: "table",
 		up:      reqHeader,
 		server:  cl.cloud.tableServer(name, ""),
@@ -58,6 +61,7 @@ func (cl *Client) InsertEntity(p *sim.Proc, tableName string, e *tablestore.Enti
 	size := e.Size()
 	err := cl.do(p, request{
 		op:      "InsertEntity",
+		mut:     true,
 		service: "table",
 		up:      size + reqHeader,
 		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
@@ -105,6 +109,7 @@ func (cl *Client) UpdateEntity(p *sim.Proc, tableName string, e *tablestore.Enti
 	size := e.Size()
 	err := cl.do(p, request{
 		op:      "UpdateEntity",
+		mut:     true,
 		service: "table",
 		up:      size + reqHeader,
 		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
@@ -126,6 +131,7 @@ func (cl *Client) MergeEntity(p *sim.Proc, tableName string, e *tablestore.Entit
 	size := e.Size()
 	err := cl.do(p, request{
 		op:      "MergeEntity",
+		mut:     true,
 		service: "table",
 		up:      size + reqHeader,
 		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
@@ -145,6 +151,7 @@ func (cl *Client) MergeEntity(p *sim.Proc, tableName string, e *tablestore.Entit
 func (cl *Client) DeleteEntity(p *sim.Proc, tableName, pk, rk, ifMatch string) error {
 	return cl.do(p, request{
 		op:      "DeleteEntity",
+		mut:     true,
 		service: "table",
 		up:      reqHeader,
 		server:  cl.cloud.tableServer(tableName, pk),
@@ -207,6 +214,7 @@ func (cl *Client) ExecuteBatch(p *sim.Proc, tableName string, ops []tablestore.B
 	failed := -1
 	err := cl.do(p, request{
 		op:      "ExecuteBatch",
+		mut:     true,
 		service: "table",
 		up:      up,
 		server:  cl.cloud.tableServer(tableName, pk),

@@ -49,6 +49,11 @@ type Config struct {
 	TableEntities int   // per worker (paper: 500)
 	TableSizesKB  []int // entity sizes (paper: 4, 8, 16, 32, 64)
 
+	// Fault-injection benchmark (goodput under a seeded fault plan).
+	FaultRates   []float64 // fraction of requests faulted (0 = baseline)
+	FaultWorkers int       // worker roles in the fault experiment
+	FaultRounds  int       // total put/get/delete rounds across workers
+
 	// TraceOps attaches an operation log (Suite.TraceLog) to every cloud
 	// the experiments build.
 	TraceOps bool
@@ -74,6 +79,9 @@ func DefaultConfig() Config {
 		},
 		TableEntities: 500,
 		TableSizesKB:  []int{4, 8, 16, 32, 64},
+		FaultRates:    []float64{0, 0.01, 0.02, 0.05},
+		FaultWorkers:  8,
+		FaultRounds:   2000,
 	}
 }
 
@@ -90,6 +98,9 @@ func QuickConfig() Config {
 	cfg.ThinkTimes = []time.Duration{1 * time.Second, 3 * time.Second, 5 * time.Second}
 	cfg.TableEntities = 50
 	cfg.TableSizesKB = []int{4, 16, 64}
+	cfg.FaultRates = []float64{0, 0.02, 0.05}
+	cfg.FaultWorkers = 4
+	cfg.FaultRounds = 400
 	return cfg
 }
 
@@ -164,6 +175,7 @@ func Experiments() []Experiment {
 		{ID: "fig8", Title: "Table storage benchmarks (Figure 8)", Run: (*Suite).RunFig8},
 		{ID: "fig9", Title: "Per-operation time, Queue vs Table (Figure 9)", Run: (*Suite).RunFig9},
 		{ID: "throttle", Title: "Scalability-target throttling (ServerBusy + 1s retry)", Run: (*Suite).RunThrottle},
+		{ID: "faults", Title: "Goodput under injected faults with resilient retries", Run: (*Suite).RunFaults},
 		{ID: "barrier", Title: "Queue-message barrier cost (Algorithm 2)", Run: (*Suite).RunBarrier},
 		{ID: "netmodel", Title: "DES vs analytical max-min fair-share cross-check", Run: (*Suite).RunNetModel},
 		{ID: "ablation", Title: "Model ablations (replication, read fan-out, table servers, quirk)", Run: (*Suite).RunAblation},

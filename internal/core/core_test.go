@@ -23,6 +23,9 @@ func tinyConfig() Config {
 	cfg.ThinkTimes = []time.Duration{time.Second, 5 * time.Second}
 	cfg.TableEntities = 25
 	cfg.TableSizesKB = []int{4, 64}
+	cfg.FaultRates = []float64{0, 0.05}
+	cfg.FaultWorkers = 2
+	cfg.FaultRounds = 80
 	return cfg
 }
 
@@ -57,7 +60,7 @@ func TestSplit(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
+	if len(exps) != 14 {
 		t.Fatalf("registry has %d experiments", len(exps))
 	}
 	seen := map[string]bool{}
@@ -70,7 +73,7 @@ func TestExperimentRegistry(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for _, id := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "throttle", "barrier", "netmodel", "ablation", "cache", "provision"} {
+	for _, id := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "throttle", "faults", "barrier", "netmodel", "ablation", "cache", "provision"} {
 		if _, ok := Lookup(id); !ok {
 			t.Fatalf("Lookup(%s) missing", id)
 		}

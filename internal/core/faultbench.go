@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"azurebench/internal/faults"
+	"azurebench/internal/metrics"
+	"azurebench/internal/payload"
+	"azurebench/internal/queuestore"
+	"azurebench/internal/retry"
+	"azurebench/internal/sim"
+	"azurebench/internal/storecommon"
+)
+
+// faultVisibility is the GetMessage claim duration in the fault
+// experiment: short enough that a dropped DeleteMessage's redelivery
+// happens within the run.
+const faultVisibility = 5 * time.Second
+
+// faultRetryPolicy is the resilient discipline the fault experiment's
+// workers run under: exponential backoff with jitter, bounded attempts
+// and a per-op deadline, retrying throttles and transient faults alike.
+func faultRetryPolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts: 6,
+		BaseDelay:   200 * time.Millisecond,
+		Multiplier:  2,
+		MaxDelay:    5 * time.Second,
+		Jitter:      0.2,
+		Deadline:    30 * time.Second,
+	}
+}
+
+// RunFaults re-runs the paper's queue workload shape (Algorithm 3's
+// put/get/delete rounds, one queue per worker) under a seeded fault plan
+// and reports goodput, retries, failed operations and at-least-once
+// redeliveries as the fault rate grows. The zero-rate point doubles as a
+// drift check: an attached injector with an empty plan must reproduce the
+// fault-free run exactly.
+func (s *Suite) RunFaults() *Report {
+	wall := time.Now()
+	goodput := metrics.Figure{
+		Title:  "Goodput under injected faults (timeouts + 500s + resets + a 5 s outage)",
+		XLabel: "fault rate (%)",
+		YLabel: "completed rounds/s",
+	}
+	cost := metrics.Figure{
+		Title:  "Resilience cost vs fault rate",
+		XLabel: "fault rate (%)",
+		YLabel: "count",
+	}
+	var notes []string
+
+	w := s.cfg.FaultWorkers
+	if w < 1 {
+		w = 8
+	}
+	totalRounds := s.cfg.FaultRounds
+	if totalRounds < w {
+		totalRounds = w
+	}
+	rates := s.cfg.FaultRates
+	if len(rates) == 0 {
+		rates = DefaultConfig().FaultRates
+	}
+	for _, rate := range rates {
+		env, c := s.newCloud()
+		plan := faults.Uniform(s.cfg.Seed, rate)
+		plan.Timeout = faultVisibility // keep lost-request stalls commensurate with the run
+		if rate > 0 {
+			// On top of the probability-driven mix, take the whole queue
+			// service down for five seconds mid-run: the failover window
+			// every worker must ride out on backoff.
+			plan.Outages = []faults.Window{{Service: "queue", Start: 20 * time.Second, Duration: 5 * time.Second}}
+		}
+		c.SetFaults(faults.NewInjector(plan))
+
+		var completed, failed, redelivered, staleClaims, misses int
+		for k := 0; k < w; k++ {
+			k := k
+			cl := c.NewClient(fmt.Sprintf("worker%d", k), s.cfg.VM)
+			env.Go(fmt.Sprintf("worker%d", k), func(p *sim.Proc) {
+				pol := faultRetryPolicy()
+				qname := fmt.Sprintf("faults-q%d", k)
+				if _, err := cl.Retry(p, pol, func() error {
+					_, err := cl.CreateQueueIfNotExists(p, qname)
+					return err
+				}); err != nil {
+					panic(fmt.Sprintf("create queue: %v", err))
+				}
+				body := payload.Synthetic(uint64(k), int64(s.cfg.SharedMsgSizeKB)*storecommon.KB)
+				_, n := split(totalRounds, w, k)
+				for i := 0; i < n; i++ {
+					if _, err := cl.Retry(p, pol, func() error {
+						_, err := cl.PutMessage(p, qname, body)
+						return err
+					}); err != nil {
+						failed++
+						continue
+					}
+					var msg queuestore.Message
+					got := false
+					if _, err := cl.Retry(p, pol, func() error {
+						m, ok, err := cl.GetMessage(p, qname, faultVisibility)
+						if err == nil && ok {
+							msg, got = m, true
+						}
+						return err
+					}); err != nil {
+						failed++
+						continue
+					}
+					if !got {
+						misses++
+						continue
+					}
+					if msg.DequeueCount > 1 {
+						redelivered++
+					}
+					if _, err := cl.Retry(p, pol, func() error {
+						err := cl.DeleteMessage(p, qname, msg.ID, msg.PopReceipt)
+						if storecommon.IsNotFound(err) || storecommon.IsPreconditionFailed(err) {
+							// The claim expired during backoff and the
+							// message was redelivered — at-least-once in
+							// action, not a failure.
+							staleClaims++
+							return nil
+						}
+						return err
+					}); err != nil {
+						failed++
+						continue
+					}
+					completed++
+				}
+			})
+		}
+		env.Run()
+		elapsed := env.Now()
+		st := c.Stats()
+		fs := c.Faults().Stats()
+
+		x := rate * 100
+		if elapsed > 0 {
+			goodput.AddPoint("goodput", x, float64(completed)/elapsed.Seconds())
+		}
+		cost.AddPoint("retries", x, float64(st.Retries))
+		cost.AddPoint("failed-ops", x, float64(failed))
+		cost.AddPoint("redelivered", x, float64(redelivered))
+
+		var ctr metrics.Counters
+		ctr.Add("faults injected", float64(fs.Injected()))
+		ctr.Add("  timeouts", float64(fs.Timeouts))
+		ctr.Add("  internal errors", float64(fs.Internals))
+		ctr.Add("  connection resets", float64(fs.Resets))
+		ctr.Add("  outage rejects", float64(fs.Outages))
+		ctr.Add("retries", float64(st.Retries))
+		ctr.Add("busy rejects", float64(st.BusyRejects))
+		ctr.Add("rounds completed", float64(completed))
+		ctr.Add("ops failed (retries exhausted)", float64(failed))
+		ctr.Add("redelivered (dequeue count > 1)", float64(redelivered))
+		ctr.Add("stale delete claims", float64(staleClaims))
+		ctr.Add("get misses", float64(misses))
+		notes = append(notes, fmt.Sprintf("fault rate %g%% (virtual runtime %v):\n%s",
+			x, elapsed.Round(time.Millisecond), ctr.Render()))
+	}
+	return &Report{
+		ID:      "faults",
+		Title:   "Goodput vs fault rate under the resilient retry policy",
+		Figures: []metrics.Figure{goodput, cost},
+		Notes: append(notes,
+			fmt.Sprintf("%d put/get/delete rounds over %d workers (one queue each), %d KB messages; exponential backoff with jitter, %d attempts max", totalRounds, w, s.cfg.SharedMsgSizeKB, faultRetryPolicy().MaxAttempts),
+			"faults are seeded and schedule-driven: the same -seed reproduces the identical fault schedule and counters",
+		),
+		Wall: time.Since(wall),
+	}
+}

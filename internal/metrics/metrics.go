@@ -260,6 +260,51 @@ func writeAligned(b *strings.Builder, rows [][]string) {
 	}
 }
 
+// Counters is an ordered set of named counters — the reporting vehicle
+// for fault-injection and retry accounting, where a figure's (x, y) shape
+// fits badly. Insertion order is preserved so reports render stably.
+type Counters struct {
+	names []string
+	vals  map[string]float64
+}
+
+// Add accumulates v into the named counter, creating it on first use.
+func (c *Counters) Add(name string, v float64) {
+	if c.vals == nil {
+		c.vals = map[string]float64{}
+	}
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] += v
+}
+
+// Get returns the counter's value (0 when absent).
+func (c *Counters) Get(name string) float64 { return c.vals[name] }
+
+// Names returns the counter names in insertion order.
+func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+
+// Render formats the counters as an aligned name/value table.
+func (c *Counters) Render() string {
+	var b strings.Builder
+	rows := make([][]string, 0, len(c.names))
+	for _, n := range c.names {
+		rows = append(rows, []string{n, trimFloat2(c.vals[n])})
+	}
+	writeAligned(&b, rows)
+	return b.String()
+}
+
+// trimFloat2 renders a counter value: integers bare, fractions with
+// three decimals.
+func trimFloat2(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.3f", x)
+}
+
 // MBps converts (bytes, elapsed) into MB/s.
 func MBps(bytes int64, elapsed time.Duration) float64 {
 	if elapsed <= 0 {

@@ -160,3 +160,41 @@ func TestSummaryFormat(t *testing.T) {
 		t.Fatalf("summary = %q", s)
 	}
 }
+
+func TestCountersAccumulateAndOrder(t *testing.T) {
+	var c Counters
+	c.Add("retries", 3)
+	c.Add("faults", 1)
+	c.Add("retries", 2)
+	if got := c.Get("retries"); got != 5 {
+		t.Fatalf("retries = %v", got)
+	}
+	if got := c.Get("absent"); got != 0 {
+		t.Fatalf("absent counter = %v", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "retries" || names[1] != "faults" {
+		t.Fatalf("names = %v (insertion order lost)", names)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the set.
+	names[0] = "clobbered"
+	if c.Names()[0] != "retries" {
+		t.Fatal("Names() exposed internal state")
+	}
+}
+
+func TestCountersRender(t *testing.T) {
+	var c Counters
+	c.Add("faults injected", 12)
+	c.Add("goodput", 41.5)
+	out := c.Render()
+	for _, want := range []string{"faults injected", "12", "41.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	var empty Counters
+	if empty.Render() != "" {
+		t.Fatalf("empty render = %q", empty.Render())
+	}
+}

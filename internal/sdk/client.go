@@ -10,11 +10,13 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
 	"time"
 
+	"azurebench/internal/retry"
 	"azurebench/internal/storecommon"
 )
 
@@ -25,18 +27,68 @@ type Client struct {
 	policy RetryPolicy
 }
 
-// RetryPolicy controls ServerBusy retries.
+// RetryPolicy controls retries. The zero values of the optional fields
+// preserve the paper's discipline — a fixed Backoff between attempts,
+// retrying only ServerBusy throttles — while the extensions turn on the
+// resilient behaviour of internal/retry: exponential backoff with jitter,
+// an overall deadline, and retrying transient faults (500s, timeouts,
+// dropped connections) as well.
 type RetryPolicy struct {
 	// MaxRetries bounds retry attempts (0 disables retries).
 	MaxRetries int
 	// Backoff is slept between attempts (the paper uses one second).
 	Backoff time.Duration
+
+	// Multiplier grows the backoff per retry (0 or 1 keeps it fixed).
+	Multiplier float64
+	// MaxBackoff caps the grown backoff (0 = uncapped).
+	MaxBackoff time.Duration
+	// Jitter randomises each delay by ±Jitter fraction (0 = none).
+	Jitter float64
+	// Deadline bounds the whole operation including backoffs (0 = none).
+	Deadline time.Duration
+	// RetryTransient also retries transient infrastructure faults
+	// (storecommon.IsTransient), not just throttles. Transport-level
+	// failures surface as ConnectionReset errors and fall in this class.
+	RetryTransient bool
 }
 
 // DefaultRetryPolicy matches the paper's behaviour: retry throttled
 // operations after a one-second sleep.
 func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxRetries: 8, Backoff: time.Second}
+}
+
+// ResilientRetryPolicy is the fault-tolerant preset: exponential backoff
+// with jitter against throttles and transient faults alike, bounded by
+// attempts and an overall deadline.
+func ResilientRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxRetries:     7,
+		Backoff:        250 * time.Millisecond,
+		Multiplier:     2,
+		MaxBackoff:     8 * time.Second,
+		Jitter:         0.2,
+		Deadline:       2 * time.Minute,
+		RetryTransient: true,
+	}
+}
+
+// policy lowers the SDK-facing knobs onto the shared retry framework.
+func (rp RetryPolicy) policy() retry.Policy {
+	classify := storecommon.IsServerBusy
+	if rp.RetryTransient {
+		classify = storecommon.IsRetriable
+	}
+	return retry.Policy{
+		MaxAttempts: rp.MaxRetries + 1,
+		BaseDelay:   rp.Backoff,
+		Multiplier:  rp.Multiplier,
+		MaxDelay:    rp.MaxBackoff,
+		Jitter:      rp.Jitter,
+		Deadline:    rp.Deadline,
+		Classify:    classify,
+	}
 }
 
 // New creates a client for the emulator at baseURL (e.g.
@@ -77,30 +129,28 @@ type response struct {
 	body    []byte
 }
 
-// do executes the request with ServerBusy retries and maps REST errors to
-// storecommon errors.
+// do executes the request under the client's retry policy and maps REST
+// errors to storecommon errors. Transport failures (the connection died
+// before an HTTP status arrived) surface as ConnectionReset storage
+// errors, which the resilient policies classify as retriable.
 func (c *Client) do(req request) (*response, error) {
-	attempts := c.policy.MaxRetries + 1
-	var lastErr error
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			time.Sleep(c.policy.Backoff)
-		}
+	pol := c.policy.policy()
+	start := time.Now()
+	retries := 0
+	for {
 		resp, err := c.once(req)
-		if err != nil {
-			return nil, err
-		}
-		if resp.status < 400 {
+		if err == nil && resp.status < 400 {
 			return resp, nil
 		}
-		serr := decodeError(resp)
-		if storecommon.IsServerBusy(serr) && attempt+1 < attempts {
-			lastErr = serr
-			continue
+		if err == nil {
+			err = decodeError(resp)
 		}
-		return resp, serr
+		if !pol.ShouldRetry(retries, time.Since(start), err) {
+			return resp, err
+		}
+		time.Sleep(pol.Delay(retries, rand.Float64))
+		retries++
 	}
-	return nil, lastErr
 }
 
 func (c *Client) once(req request) (*response, error) {
@@ -121,12 +171,14 @@ func (c *Client) once(req request) (*response, error) {
 	}
 	hresp, err := c.http.Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("sdk: %s %s: %w", req.method, req.path, err)
+		return nil, storecommon.Errf(storecommon.CodeConnectionReset, 0,
+			"sdk: %s %s: %v", req.method, req.path, err)
 	}
 	defer hresp.Body.Close()
 	data, err := io.ReadAll(hresp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("sdk: reading response: %w", err)
+		return nil, storecommon.Errf(storecommon.CodeConnectionReset, 0,
+			"sdk: reading %s %s response: %v", req.method, req.path, err)
 	}
 	return &response{status: hresp.StatusCode, headers: hresp.Header, body: data}, nil
 }

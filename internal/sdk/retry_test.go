@@ -1,0 +1,113 @@
+package sdk
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"azurebench/internal/storecommon"
+)
+
+// flakyServer fails the first n requests with the given storage error,
+// then serves 200s with the body "ok".
+func flakyServer(t *testing.T, n int, code storecommon.Code, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			w.Header().Set("x-ms-error-code", string(code))
+			w.WriteHeader(status)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &calls
+}
+
+func TestTransientRetriedWhenEnabled(t *testing.T) {
+	hs, calls := flakyServer(t, 2, storecommon.CodeInternalError, 500)
+	c := New(hs.URL, hs.Client(), RetryPolicy{
+		MaxRetries:     3,
+		Backoff:        time.Millisecond,
+		RetryTransient: true,
+	})
+	got, err := c.Blob().Download("demo", "blob")
+	if err != nil {
+		t.Fatalf("download after transient 500s: %v", err)
+	}
+	if string(got) != "ok" || calls.Load() != 3 {
+		t.Fatalf("got %q after %d calls", got, calls.Load())
+	}
+}
+
+func TestTransientNotRetriedByDefault(t *testing.T) {
+	hs, calls := flakyServer(t, 2, storecommon.CodeInternalError, 500)
+	c := New(hs.URL, hs.Client(), RetryPolicy{MaxRetries: 3, Backoff: time.Millisecond})
+	_, err := c.Blob().Download("demo", "blob")
+	if storecommon.CodeOf(err) != storecommon.CodeInternalError {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("paper policy reissued a 500 (%d calls)", calls.Load())
+	}
+}
+
+func TestBusyStillRetriedByDefault(t *testing.T) {
+	hs, calls := flakyServer(t, 2, storecommon.CodeServerBusy, 503)
+	c := New(hs.URL, hs.Client(), RetryPolicy{MaxRetries: 3, Backoff: time.Millisecond})
+	if _, err := c.Blob().Download("demo", "blob"); err != nil {
+		t.Fatalf("download after throttles: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestRetriesExhaustReturnLastError(t *testing.T) {
+	hs, calls := flakyServer(t, 100, storecommon.CodeServerBusy, 503)
+	c := New(hs.URL, hs.Client(), RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond})
+	_, err := c.Blob().Download("demo", "blob")
+	if storecommon.CodeOf(err) != storecommon.CodeServerBusy {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want MaxRetries+1 = 3", calls.Load())
+	}
+}
+
+func TestTransportErrorIsConnectionReset(t *testing.T) {
+	hs := httptest.NewServer(http.NewServeMux())
+	url := hs.URL
+	hs.Close() // nothing listens: every dial dies before an HTTP status
+	c := New(url, nil, RetryPolicy{})
+	_, err := c.Blob().Download("demo", "blob")
+	if storecommon.CodeOf(err) != storecommon.CodeConnectionReset {
+		t.Fatalf("transport failure surfaced as %v", err)
+	}
+	if !storecommon.IsRetriable(err) {
+		t.Fatal("connection reset not classified retriable")
+	}
+	if storecommon.StatusOf(err) != 0 {
+		t.Fatalf("reset carries status %d, want 0", storecommon.StatusOf(err))
+	}
+}
+
+func TestResilientRetryPolicyShape(t *testing.T) {
+	rp := ResilientRetryPolicy()
+	if !rp.RetryTransient || rp.Multiplier <= 1 || rp.Jitter <= 0 || rp.Deadline <= 0 {
+		t.Fatalf("resilient preset lost its teeth: %+v", rp)
+	}
+	pol := rp.policy()
+	if pol.MaxAttempts != rp.MaxRetries+1 {
+		t.Fatalf("MaxAttempts = %d", pol.MaxAttempts)
+	}
+	if !pol.Classify(storecommon.Errf(storecommon.CodeOperationTimedOut, 500, "x")) {
+		t.Fatal("resilient policy rejects timeouts")
+	}
+	if DefaultRetryPolicy().policy().Classify(storecommon.Errf(storecommon.CodeOperationTimedOut, 500, "x")) {
+		t.Fatal("paper policy retries timeouts")
+	}
+}

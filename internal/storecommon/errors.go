@@ -62,6 +62,13 @@ const (
 	CodeMissingRequiredHeader   Code = "MissingRequiredHeader"
 	CodeAuthenticationFailed    Code = "AuthenticationFailed"
 	CodeAccountTransactionLimit Code = "AccountTransactionRateExceeded"
+
+	// Fault-model codes (package faults). ServerUnavailable is returned
+	// while a partition server is inside an unavailability window;
+	// ConnectionReset is a transport-level failure (the TCP connection died
+	// mid-transfer, so no HTTP status ever arrived — Status is 0).
+	CodeServerUnavailable Code = "ServerUnavailable"
+	CodeConnectionReset   Code = "ConnectionReset"
 )
 
 // Error is the storage error type surfaced by every engine and service
@@ -115,6 +122,30 @@ func IsServerBusy(err error) bool {
 		return true
 	}
 	return false
+}
+
+// IsTransient reports whether err is a transient infrastructure fault —
+// a timed-out request, a 500 from a partition server, a dropped
+// connection, or a server inside an unavailability window. Transient
+// faults are expected to clear on their own; clients should retry with
+// backoff. Throttle rejections (IsServerBusy) are deliberately excluded:
+// they signal overload, not failure, and carry their own retry guidance.
+func IsTransient(err error) bool {
+	switch CodeOf(err) {
+	case CodeInternalError, CodeOperationTimedOut, CodeConnectionReset,
+		CodeServerUnavailable, CodeInstanceUnavailable:
+		return true
+	}
+	return false
+}
+
+// IsRetriable reports whether a client may safely re-issue the operation:
+// either a throttle rejection (back off per the scalability targets) or a
+// transient fault (back off exponentially). Errors that reflect request
+// or state problems — not-found, conflicts, precondition failures,
+// validation errors — are not retriable: reissuing cannot succeed.
+func IsRetriable(err error) bool {
+	return IsServerBusy(err) || IsTransient(err)
 }
 
 // IsNotFound reports whether err denotes a missing resource of any kind.

@@ -237,3 +237,72 @@ func TestRateLimiterBadParamsPanic(t *testing.T) {
 	}()
 	NewRateLimiter(0, 1)
 }
+
+// allCodes enumerates every Code constant; the retriability matrix below
+// must classify each one explicitly so a new code cannot slip into (or
+// out of) the retriable set unnoticed.
+var allCodes = []Code{
+	CodeServerBusy, CodeInternalError, CodeInvalidInput, CodeOutOfRangeInput,
+	CodeResourceNotFound, CodeResourceAlreadyExists, CodeConditionNotMet,
+	CodeContainerNotFound, CodeContainerAlreadyExists, CodeBlobNotFound,
+	CodeBlobAlreadyExists, CodeInvalidBlockID, CodeInvalidBlockList,
+	CodeInvalidPageRange, CodeBlockCountExceedsLimit, CodeRequestBodyTooLarge,
+	CodeLeaseAlreadyPresent, CodeLeaseIDMissing, CodeLeaseIDMismatch,
+	CodeLeaseNotPresent, CodeQueueNotFound, CodeQueueAlreadyExists,
+	CodeMessageNotFound, CodeMessageTooLarge, CodePopReceiptMismatch,
+	CodeInvalidVisibility, CodeTableNotFound, CodeTableAlreadyExists,
+	CodeEntityNotFound, CodeEntityAlreadyExists, CodeEntityTooLarge,
+	CodePropertyLimitExceeded, CodeUpdateConditionNotMet, CodeInvalidQuery,
+	CodeAccountBandwidthLimit, CodeOperationTimedOut, CodeInvalidResourceName,
+	CodeOutOfCapacity, CodeBatchPartitionMismatch, CodeBatchTooManyOperations,
+	CodeBatchDuplicateRowKey, CodeSnapshotNotFound, CodeInstanceUnavailable,
+	CodeUnsupportedHTTPVerb, CodeMissingRequiredHeader, CodeAuthenticationFailed,
+	CodeAccountTransactionLimit, CodeServerUnavailable, CodeConnectionReset,
+}
+
+func TestRetriableCoversEveryCode(t *testing.T) {
+	transient := map[Code]bool{
+		CodeInternalError:     true,
+		CodeOperationTimedOut: true,
+		CodeConnectionReset:   true,
+		CodeServerUnavailable: true,
+		// RoleInstanceUnavailable predates the fault model: a role instance
+		// mid-restart, gone shortly after.
+		CodeInstanceUnavailable: true,
+	}
+	busy := map[Code]bool{
+		CodeServerBusy:              true,
+		CodeAccountTransactionLimit: true,
+		CodeAccountBandwidthLimit:   true,
+	}
+	seen := map[Code]bool{}
+	for _, code := range allCodes {
+		if seen[code] {
+			t.Fatalf("code %s listed twice", code)
+		}
+		seen[code] = true
+		err := Errf(code, 500, "x")
+		if got, want := IsTransient(err), transient[code]; got != want {
+			t.Errorf("IsTransient(%s) = %v, want %v", code, got, want)
+		}
+		if got, want := IsRetriable(err), transient[code] || busy[code]; got != want {
+			t.Errorf("IsRetriable(%s) = %v, want %v", code, got, want)
+		}
+		// Throttles are retriable but not transient: they carry their own
+		// backoff contract.
+		if IsServerBusy(err) && IsTransient(err) {
+			t.Errorf("code %s classified both busy and transient", code)
+		}
+	}
+	// Non-storage and nil errors are never retriable.
+	if IsRetriable(errors.New("plain")) || IsTransient(errors.New("plain")) {
+		t.Error("plain error classified retriable")
+	}
+	if IsRetriable(nil) || IsTransient(nil) {
+		t.Error("nil error classified retriable")
+	}
+	// Wrapped storage errors keep their classification.
+	if !IsRetriable(fmt.Errorf("wrapped: %w", Errf(CodeConnectionReset, 0, "rst"))) {
+		t.Error("wrapped reset not retriable")
+	}
+}

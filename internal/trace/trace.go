@@ -22,6 +22,7 @@ type Op struct {
 	Name     string // e.g. PutBlock
 	Bytes    int64  // payload bytes moved (both directions)
 	Err      string // storage error code, "" on success
+	Fault    string // injected fault kind ("timeout", "reset", ...), "" if none
 }
 
 // Log is a bounded in-memory operation log. It is safe for concurrent
@@ -87,6 +88,21 @@ func (l *Log) Ops() []Op {
 	return out
 }
 
+// FaultOps returns the retained operations that were failed by an
+// injected fault, in record order — the trace-level view of a fault
+// schedule.
+func (l *Log) FaultOps() []Op {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Op
+	for _, op := range l.ops {
+		if op.Fault != "" {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
 // Reset clears the log.
 func (l *Log) Reset() {
 	l.mu.Lock()
@@ -108,6 +124,7 @@ type SummaryRow struct {
 	Name    string
 	Count   int
 	Errors  int
+	Faults  int // operations failed by an injected fault
 	Bytes   int64
 	Total   time.Duration
 	Mean    time.Duration
@@ -130,6 +147,9 @@ func (l *Log) Rows() []SummaryRow {
 		r.Count++
 		if op.Err != "" {
 			r.Errors++
+		}
+		if op.Fault != "" {
+			r.Faults++
 		}
 		r.Bytes += op.Bytes
 		r.Total += op.Duration
@@ -155,11 +175,11 @@ func (l *Log) Rows() []SummaryRow {
 func (l *Log) Summary() string {
 	rows := l.Rows()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-7s %-16s %8s %6s %12s %12s %12s\n",
-		"service", "op", "count", "errs", "bytes", "mean", "max")
+	fmt.Fprintf(&b, "%-7s %-16s %8s %6s %6s %12s %12s %12s\n",
+		"service", "op", "count", "errs", "faults", "bytes", "mean", "max")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-7s %-16s %8d %6d %12d %12s %12s\n",
-			r.Service, r.Name, r.Count, r.Errors, r.Bytes,
+		fmt.Fprintf(&b, "%-7s %-16s %8d %6d %6d %12d %12s %12s\n",
+			r.Service, r.Name, r.Count, r.Errors, r.Faults, r.Bytes,
 			r.Mean.Round(time.Microsecond), r.Max.Round(time.Microsecond))
 	}
 	if d := l.Dropped(); d > 0 {
