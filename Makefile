@@ -22,8 +22,10 @@ race:
 	$(GO) test -race ./...
 
 # One testing.B bench per paper table/figure plus engine micro-benches.
+# Writes a machine-readable baseline (BENCH_<date>.json) for diffing
+# across commits; the raw output stays visible on stderr.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_$(shell date +%Y-%m-%d).json
 
 # Regenerate every table and figure at paper scale (~6 min).
 results:

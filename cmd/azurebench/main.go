@@ -9,6 +9,10 @@
 //	azurebench -list                      # enumerate experiments
 //	azurebench -experiment fig8 -csv      # additionally emit CSV blocks
 //	azurebench -workers 1,8,64            # override the worker sweep
+//	azurebench -trace                     # per-op + per-stage time attribution
+//	azurebench -tracefile trace.jsonl     # export every traced op as JSONL
+//	azurebench -telemetry                 # station timelines under the figures
+//	azurebench -statsfile stats.jsonl     # export telemetry samples as JSONL
 package main
 
 import (
@@ -30,7 +34,10 @@ func main() {
 		csv        = flag.Bool("csv", false, "also print CSV data blocks")
 		seed       = flag.Int64("seed", 0, "override simulation seed (0 = default)")
 		workers    = flag.String("workers", "", "override worker sweep, e.g. 1,8,64")
-		traceOps   = flag.Bool("trace", false, "print a per-operation trace summary after each experiment")
+		traceOps   = flag.Bool("trace", false, "print per-operation and per-stage trace summaries after each experiment")
+		traceFile  = flag.String("tracefile", "", "write every traced operation as JSONL to this file (implies -trace collection)")
+		telemetry  = flag.Bool("telemetry", false, "sample station telemetry and render timelines with the figures")
+		statsFile  = flag.String("statsfile", "", "write telemetry samples as JSONL to this file (implies -telemetry)")
 		outDir     = flag.String("o", "", "also write per-experiment .txt and .csv files into this directory")
 		faultRates = flag.String("faultrates", "", "override the faults experiment's rate sweep, e.g. 0,0.01,0.05")
 	)
@@ -50,7 +57,8 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
-	cfg.TraceOps = *traceOps
+	cfg.TraceOps = *traceOps || *traceFile != ""
+	cfg.Telemetry = *telemetry || *statsFile != ""
 	if *workers != "" {
 		sweep, err := parseInts(*workers)
 		if err != nil {
@@ -66,6 +74,16 @@ func main() {
 		cfg.FaultRates = rates
 	}
 	suite := core.NewSuite(cfg)
+
+	var traceOut *os.File
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatalf("creating -tracefile: %v", err)
+		}
+		traceOut = f
+		defer traceOut.Close()
+	}
 
 	ids := strings.Split(*experiment, ",")
 	if *experiment == "all" {
@@ -88,13 +106,36 @@ func main() {
 			}
 		}
 		if log := suite.TraceLog(); log != nil {
-			fmt.Printf("--- operation trace: %s ---\n%s\n", id, log.Summary())
+			if *traceOps {
+				fmt.Printf("--- operation trace: %s ---\n%s\n", id, log.Summary())
+				fmt.Printf("--- stage attribution: %s ---\n%s\n", id, log.StageSummary())
+			}
+			if traceOut != nil {
+				// Mark each experiment's section so one JSONL file holds
+				// the whole run.
+				fmt.Fprintf(traceOut, "{\"experiment\":%q}\n", id)
+				if err := log.WriteJSONL(traceOut); err != nil {
+					fatalf("writing -tracefile: %v", err)
+				}
+			}
 			log.Reset()
 		}
 		if *csv {
 			for _, fig := range rep.Figures {
 				fmt.Printf("--- csv: %s ---\n%s\n", fig.Title, fig.CSV())
 			}
+		}
+	}
+	if *statsFile != "" {
+		f, err := os.Create(*statsFile)
+		if err != nil {
+			fatalf("creating -statsfile: %v", err)
+		}
+		if err := suite.WriteStats(f); err != nil {
+			fatalf("writing -statsfile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing -statsfile: %v", err)
 		}
 	}
 }

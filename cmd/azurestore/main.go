@@ -6,14 +6,20 @@
 // clients can exercise the paper's back-off-and-retry discipline against
 // real sockets.
 //
-//	azurestore -addr 127.0.0.1:10000 -throttle
+// The emulator always serves per-endpoint request counters and latency
+// histograms at /statsz; with -debug it additionally mounts the expvar
+// dump at /debug/vars and the pprof profiles under /debug/pprof/.
+//
+//	azurestore -addr 127.0.0.1:10000 -throttle -debug
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 
 	"azurebench/internal/rest"
 )
@@ -22,15 +28,42 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:10000", "listen address")
 	throttle := flag.Bool("throttle", false, "enforce scalability-target throttling")
 	cache := flag.Bool("cache", false, "enable the caching service (/cache routes)")
+	debug := flag.Bool("debug", false, "expose /debug/vars (expvar) and /debug/pprof/")
 	flag.Parse()
 
 	srv := rest.NewServer(rest.Options{Throttle: *throttle, Cache: *cache})
-	fmt.Printf("azurestore: serving blob/queue/table storage on http://%s (throttle=%v cache=%v)\n", *addr, *throttle, *cache)
+	var handler http.Handler = srv
+	if *debug {
+		handler = withDebug(srv)
+	}
+	fmt.Printf("azurestore: serving blob/queue/table storage on http://%s (throttle=%v cache=%v debug=%v)\n", *addr, *throttle, *cache, *debug)
 	fmt.Println("  blob:  PUT/GET  /blob/{container}/{blob}")
 	fmt.Println("  queue: POST/GET /queue/{name}/messages")
 	fmt.Println("  table: POST/GET /table/{name}")
 	if *cache {
 		fmt.Println("  cache: PUT/GET  /cache/{name}/{key}")
 	}
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	fmt.Println("  stats: GET      /statsz")
+	if *debug {
+		fmt.Println("  debug: GET      /debug/vars, /debug/pprof/")
+	}
+	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+// withDebug mounts the expvar and pprof debug routes in front of the
+// emulator. The endpoint stats are published as the "azurestore" expvar so
+// /debug/vars carries the same counters as /statsz.
+func withDebug(srv *rest.Server) http.Handler {
+	expvar.Publish("azurestore", expvar.Func(func() any {
+		return srv.MetricsSnapshot()
+	}))
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", srv)
+	return mux
 }

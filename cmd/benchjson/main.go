@@ -1,0 +1,44 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report, so benchmark baselines can be archived
+// and diffed across commits:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_2026-08-06.json
+//
+// Input lines are echoed to stderr as they arrive so the (long) bench
+// run stays visible while piping.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	rep, err := Parse(io.TeeReader(os.Stdin, os.Stderr))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if rep.Failed {
+		fmt.Fprintln(os.Stderr, "benchjson: bench run reported FAIL")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: azurebench
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTableI_Lookup 	121339034	        10.01 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig6_QueuePerWorker-8   	       3	 400123456 ns/op	 1048576 B/op	    1234 allocs/op
+BenchmarkCustomMetric-8   	     100	     50000 ns/op	        42.5 msgs/s
+PASS
+ok  	azurebench	2.218s
+pkg: azurebench/internal/sim
+BenchmarkEventLoop-8	 5000000	       250.0 ns/op	      16 B/op	       1 allocs/op
+PASS
+ok  	azurebench/internal/sim	1.500s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("metadata = %+v", rep)
+	}
+	if rep.Failed {
+		t.Fatal("PASS run marked failed")
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("benchmarks = %d: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	// No -procs suffix: GOMAXPROCS 1.
+	b := rep.Benchmarks[0]
+	if b.Name != "TableI_Lookup" || b.Procs != 1 || b.Pkg != "azurebench" {
+		t.Fatalf("bench 0 = %+v", b)
+	}
+	if b.Iterations != 121339034 || b.NsPerOp != 10.01 {
+		t.Fatalf("bench 0 values = %+v", b)
+	}
+
+	b = rep.Benchmarks[1]
+	if b.Name != "Fig6_QueuePerWorker" || b.Procs != 8 {
+		t.Fatalf("bench 1 = %+v", b)
+	}
+	if b.NsPerOp != 400123456 || b.BytesPerOp != 1048576 || b.AllocsPerOp != 1234 {
+		t.Fatalf("bench 1 values = %+v", b)
+	}
+
+	// Custom b.ReportMetric units land in Metrics.
+	b = rep.Benchmarks[2]
+	if b.Metrics["msgs/s"] != 42.5 {
+		t.Fatalf("bench 2 metrics = %+v", b.Metrics)
+	}
+
+	// The pkg: line re-scopes later benchmarks.
+	b = rep.Benchmarks[3]
+	if b.Pkg != "azurebench/internal/sim" || b.Name != "EventLoop" {
+		t.Fatalf("bench 3 = %+v", b)
+	}
+}
+
+func TestParseFailAndEmpty(t *testing.T) {
+	rep, err := Parse(strings.NewReader("FAIL\tazurebench\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Fatal("FAIL line not detected")
+	}
+
+	rep, err = Parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmarks == nil || len(rep.Benchmarks) != 0 {
+		t.Fatalf("empty input benchmarks = %#v", rep.Benchmarks)
+	}
+}
+
+func TestParseIgnoresMalformedBenchLines(t *testing.T) {
+	in := "BenchmarkBroken-8\tnot-a-number\t10 ns/op\nBenchmarkOK-2\t5\t100 ns/op\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "OK" {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+}

@@ -68,6 +68,7 @@ func (cl *Client) PutBlock(p *sim.Proc, container, blob, blockID string, data pa
 		service: "blob",
 		up:      data.Len() + reqHeader,
 		server:  rs.primary(),
+		repl:    cl.cloud.prm.ReplCost(),
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.BlockPutOcc(data.Len()), 0,
 				cl.cloud.Blob.PutBlock(container, blob, blockID, data)
@@ -84,6 +85,7 @@ func (cl *Client) PutBlockList(p *sim.Proc, container, blob string, refs []blobs
 		service: "blob",
 		up:      int64(len(refs))*72 + reqHeader,
 		server:  rs.primary(),
+		repl:    cl.cloud.prm.ReplCost(),
 		apply: func() (time.Duration, int64, error) {
 			_, err := cl.cloud.Blob.PutBlockList(container, blob, refs, "")
 			return cl.cloud.prm.CommitOcc(len(refs)), 0, err
@@ -100,6 +102,7 @@ func (cl *Client) UploadBlockBlob(p *sim.Proc, container, blob string, data payl
 		service: "blob",
 		up:      data.Len() + reqHeader,
 		server:  rs.primary(),
+		repl:    cl.cloud.prm.ReplCost(),
 		apply: func() (time.Duration, int64, error) {
 			_, err := cl.cloud.Blob.UploadBlockBlob(container, blob, data, "")
 			return cl.cloud.prm.BlockPutOcc(data.Len()), 0, err
@@ -154,6 +157,7 @@ func (cl *Client) PutPage(p *sim.Proc, container, blob string, off int64, data p
 		service: "blob",
 		up:      data.Len() + reqHeader,
 		server:  rs.primary(),
+		repl:    cl.cloud.prm.ReplCost(),
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.PagePutOcc(data.Len()), 0,
 				cl.cloud.Blob.PutPages(container, blob, off, data, "")
@@ -235,6 +239,7 @@ func (cl *Client) DeleteBlob(p *sim.Proc, container, blob string) error {
 		service: "blob",
 		up:      reqHeader,
 		server:  rs.primary(),
+		repl:    cl.cloud.prm.ReplCost(),
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.DeleteBlobOcc(), 0,
 				cl.cloud.Blob.DeleteBlob(container, blob, "")

@@ -15,6 +15,7 @@ package cloud
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"azurebench/internal/blobstore"
@@ -26,6 +27,7 @@ import (
 	"azurebench/internal/sim"
 	"azurebench/internal/storecommon"
 	"azurebench/internal/tablestore"
+	"azurebench/internal/telemetry"
 	"azurebench/internal/trace"
 	"azurebench/internal/vclock"
 )
@@ -227,6 +229,30 @@ func (c *Cloud) partitionLimiter(tableName, pk string) *storecommon.RateLimiter 
 	return tb
 }
 
+// Stations enumerates the cloud's partition-server stations — queue
+// servers (with their per-queue limiters), table servers, blob replicas
+// and cache nodes — sorted by name, for telemetry sampling. Partitions are
+// created lazily, so callers re-enumerate per observation.
+func (c *Cloud) Stations() []telemetry.Station {
+	var out []telemetry.Station
+	for name, srv := range c.queueSrv {
+		out = append(out, telemetry.Station{Name: srv.Name(), Res: srv, Limiter: c.queueTB[name]})
+	}
+	for _, srv := range c.tableSrv {
+		out = append(out, telemetry.Station{Name: srv.Name(), Res: srv})
+	}
+	for _, rs := range c.blobSrv {
+		for _, r := range rs.replicas {
+			out = append(out, telemetry.Station{Name: r.Name(), Res: r})
+		}
+	}
+	for _, srv := range c.cacheSrv {
+		out = append(out, telemetry.Station{Name: srv.Name(), Res: srv})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // --- request pipeline ---
 
 // request describes one storage operation's cost structure. apply runs at
@@ -246,11 +272,66 @@ type request struct {
 	lat     time.Duration
 	apply   func() (occ time.Duration, down int64, err error)
 	latOfSz func(down int64) time.Duration // optional size-dependent latency
+	// repl is the synchronous-replication component of the operation's
+	// occupancy (zero for reads and unreplicated ops); tracing splits it
+	// out of the server span.
+	repl time.Duration
 
 	// Filled in by do for the trace record.
 	tracedDown int64
 	tracedErr  string
 	fault      string
+	st         *spanCutter
+}
+
+// spanCutter attributes elapsed virtual time to pipeline stages as the
+// request advances. A nil cutter (tracing detached) makes every call a
+// no-op, so the happy path pays nothing when observability is off.
+type spanCutter struct {
+	env   *sim.Env
+	last  time.Duration
+	spans []trace.Span
+}
+
+// cut attributes the time since the previous cut to stage.
+func (st *spanCutter) cut(stage string) {
+	if st == nil {
+		return
+	}
+	now := st.env.Now()
+	d := now - st.last
+	st.last = now
+	st.add(stage, d)
+}
+
+// cutServer attributes the time since the previous cut to server work,
+// splitting out the trailing replication component.
+func (st *spanCutter) cutServer(repl time.Duration) {
+	if st == nil {
+		return
+	}
+	now := st.env.Now()
+	d := now - st.last
+	st.last = now
+	if repl > d {
+		repl = d
+	}
+	st.add(trace.StageServer, d-repl)
+	st.add(trace.StageReplicate, repl)
+}
+
+// add accumulates d under stage (merging repeats so spans stay compact).
+func (st *spanCutter) add(stage string, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for i := range st.spans {
+		if st.spans[i].Stage == stage {
+			st.spans[i].Dur += d
+			return
+		}
+	}
+	st.spans = append(st.spans, trace.Span{Stage: stage, Dur: d})
 }
 
 var errServerBusy = storecommon.Errf(storecommon.CodeServerBusy, 503,
@@ -280,6 +361,14 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 	prm := c.prm
 	if c.traceLog != nil {
 		start := c.env.Now()
+		req.st = &spanCutter{env: c.env, last: start}
+		// A backoff slept by Client.Retry belongs to the attempt it
+		// precedes: fold it into this op's window as a retry-backoff span.
+		if b := cl.pendingBackoff; b > 0 {
+			cl.pendingBackoff = 0
+			start -= b
+			req.st.add(trace.StageRetryBackoff, b)
+		}
 		defer func(start time.Duration) {
 			// The error is re-derived from stats below; record what the
 			// request moved and how long it took.
@@ -292,6 +381,7 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 				Bytes:    req.up + req.tracedDown,
 				Err:      req.tracedErr,
 				Fault:    req.fault,
+				Spans:    req.st.spans,
 			})
 		}(start)
 	}
@@ -310,6 +400,7 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 		c.stats.BytesIn += req.up
 	}
 	p.Sleep(prm.RTT / 2)
+	req.st.cut(trace.StageNicIn)
 
 	switch dec.Kind {
 	case faults.Timeout:
@@ -319,6 +410,7 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 		req.fault = dec.Kind.String()
 		req.tracedErr = string(storecommon.CodeOperationTimedOut)
 		p.Sleep(dec.Wait)
+		req.st.cut(trace.StageFaultWait)
 		return errOpTimedOut
 	case faults.Outage:
 		// The partition server is inside an unavailability window; the
@@ -327,6 +419,7 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 		req.fault = dec.Kind.String()
 		req.tracedErr = string(storecommon.CodeServerUnavailable)
 		p.Sleep(prm.RTT / 2)
+		req.st.cut(trace.StageNicOut)
 		return errServerUnavailable
 	}
 
@@ -347,20 +440,24 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 	if !admitted {
 		c.stats.BusyRejects++
 		p.Sleep(prm.RTT / 2)
+		req.st.cut(trace.StageThrottle)
 		req.tracedErr = string(storecommon.CodeServerBusy)
 		return errServerBusy
 	}
 
 	req.server.Acquire(p)
+	req.st.cut(trace.StageQueueWait)
 	if dec.Kind == faults.Internal {
 		// The server accepted the request but failed before handing it to
 		// the engine; it burns some occupancy, then the 500 travels back.
 		p.Sleep(dec.Occ)
 		req.server.Release()
+		req.st.cut(trace.StageServer)
 		c.stats.FaultInternals++
 		req.fault = dec.Kind.String()
 		req.tracedErr = string(storecommon.CodeInternalError)
 		p.Sleep(prm.RTT / 2)
+		req.st.cut(trace.StageNicOut)
 		return errInternalFault
 	}
 	occ, down, err := req.apply()
@@ -370,6 +467,7 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 	}
 	c.stats.Ops++
 	p.Sleep(occ)
+	req.st.cutServer(req.repl)
 	req.server.Release()
 
 	lat := req.lat
@@ -377,7 +475,9 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 		lat = req.latOfSz(down)
 	}
 	p.Sleep(lat)
+	req.st.cut(trace.StagePipeline)
 	p.Sleep(prm.RTT / 2)
+	req.st.cut(trace.StageNicOut)
 	if dec.Kind == faults.Reset {
 		// Read-path reset: the engine did the work, but the response was
 		// cut mid-transfer; the truncated prefix still crossed the wire.
@@ -387,6 +487,7 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 		c.accountBW.Debit(c.env.Now(), float64(down))
 		cl.nic.Use(p, model.Xfer(down, cl.vm.NICBps))
 		c.stats.BytesOut += down
+		req.st.cut(trace.StageNicOut)
 	}
 	return err
 }
@@ -411,6 +512,11 @@ func (cl *Client) failReset(p *sim.Proc, req *request, part int64, up bool) erro
 			c.stats.BytesOut += part
 		}
 	}
+	if up {
+		req.st.cut(trace.StageNicIn)
+	} else {
+		req.st.cut(trace.StageNicOut)
+	}
 	c.stats.FaultResets++
 	req.fault = faults.Reset.String()
 	req.tracedErr = string(storecommon.CodeConnectionReset)
@@ -428,6 +534,9 @@ type Client struct {
 	vm     model.VMSize
 	nic    *sim.Resource
 	policy retry.Policy
+	// pendingBackoff is retry backoff slept but not yet attributed to an
+	// operation's trace record (only maintained while tracing is attached).
+	pendingBackoff time.Duration
 }
 
 // NewClient creates a client bound to a VM of the given size. Its default
@@ -485,6 +594,12 @@ func (cl *Client) Retry(p *sim.Proc, pol retry.Policy, op func() error) (retries
 		d := pol.Delay(retries, func() float64 { return p.Rand().Float64() })
 		retries++
 		cl.cloud.stats.Retries++
+		if pol.OnBackoff != nil {
+			pol.OnBackoff(retries, d)
+		}
+		if cl.cloud.traceLog != nil {
+			cl.pendingBackoff += d
+		}
 		p.Sleep(d)
 	}
 }

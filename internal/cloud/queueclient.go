@@ -65,6 +65,7 @@ func (cl *Client) PutMessage(p *sim.Proc, name string, body payload.Payload) (qu
 		up:      body.Len() + reqHeader,
 		server:  cl.cloud.queueServer(name),
 		queue:   name,
+		repl:    cl.cloud.prm.ReplCost(),
 		lat:     cl.cloud.prm.QueueLat(model.QPut, body.Len()),
 		apply: func() (time.Duration, int64, error) {
 			var err error
@@ -88,6 +89,7 @@ func (cl *Client) GetMessage(p *sim.Proc, name string, visibility time.Duration)
 		up:      reqHeader,
 		server:  cl.cloud.queueServer(name),
 		queue:   name,
+		repl:    cl.cloud.prm.ReplCost(), // dequeue commits a visibility update
 		latOfSz: func(down int64) time.Duration {
 			return cl.cloud.prm.QueueLat(model.QGet, down)
 		},
@@ -143,6 +145,7 @@ func (cl *Client) DeleteMessage(p *sim.Proc, name, msgID, popReceipt string) err
 		up:      reqHeader,
 		server:  cl.cloud.queueServer(name),
 		queue:   name,
+		repl:    cl.cloud.prm.ReplCost(),
 		lat:     cl.cloud.prm.QueueLat(model.QDelete, 0),
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.QueueOcc(model.QDelete, 0, 0), 0,
@@ -161,6 +164,7 @@ func (cl *Client) UpdateMessage(p *sim.Proc, name, msgID, popReceipt string, bod
 		up:      body.Len() + reqHeader,
 		server:  cl.cloud.queueServer(name),
 		queue:   name,
+		repl:    cl.cloud.prm.ReplCost(),
 		lat:     cl.cloud.prm.QueueLat(model.QPut, body.Len()),
 		apply: func() (time.Duration, int64, error) {
 			var err error

@@ -67,6 +67,7 @@ func (cl *Client) InsertEntity(p *sim.Proc, tableName string, e *tablestore.Enti
 		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
 		table:   tableName,
 		part:    e.PartitionKey,
+		repl:    cl.cloud.prm.ReplCost(),
 		lat:     cl.cloud.prm.TableLat(model.TInsert),
 		apply: func() (time.Duration, int64, error) {
 			var err error
@@ -115,6 +116,7 @@ func (cl *Client) UpdateEntity(p *sim.Proc, tableName string, e *tablestore.Enti
 		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
 		table:   tableName,
 		part:    e.PartitionKey,
+		repl:    cl.cloud.prm.ReplCost(),
 		lat:     cl.cloud.prm.TableLat(model.TUpdate),
 		apply: func() (time.Duration, int64, error) {
 			var err error
@@ -137,6 +139,7 @@ func (cl *Client) MergeEntity(p *sim.Proc, tableName string, e *tablestore.Entit
 		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
 		table:   tableName,
 		part:    e.PartitionKey,
+		repl:    cl.cloud.prm.ReplCost(),
 		lat:     cl.cloud.prm.TableLat(model.TUpdate),
 		apply: func() (time.Duration, int64, error) {
 			var err error
@@ -157,6 +160,7 @@ func (cl *Client) DeleteEntity(p *sim.Proc, tableName, pk, rk, ifMatch string) e
 		server:  cl.cloud.tableServer(tableName, pk),
 		table:   tableName,
 		part:    pk,
+		repl:    cl.cloud.prm.ReplCost(),
 		lat:     cl.cloud.prm.TableLat(model.TDelete),
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.TableOcc(model.TDelete, 0), 0,
@@ -220,6 +224,7 @@ func (cl *Client) ExecuteBatch(p *sim.Proc, tableName string, ops []tablestore.B
 		server:  cl.cloud.tableServer(tableName, pk),
 		table:   tableName,
 		part:    pk,
+		repl:    time.Duration(len(ops)) * cl.cloud.prm.ReplCost(),
 		txCost:  float64(len(ops)),
 		lat:     cl.cloud.prm.TableLat(model.TInsert),
 		apply: func() (time.Duration, int64, error) {

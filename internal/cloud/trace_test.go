@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"azurebench/internal/faults"
 	"azurebench/internal/model"
 	"azurebench/internal/payload"
 	"azurebench/internal/sim"
@@ -85,4 +86,159 @@ func TestTraceDetached(t *testing.T) {
 		}
 	})
 	env.Run() // must not panic with tracing off
+}
+
+// sumSpans totals an op's stage attribution.
+func sumSpans(op trace.Op) time.Duration {
+	var total time.Duration
+	for _, sp := range op.Spans {
+		total += sp.Dur
+	}
+	return total
+}
+
+// checkSpans asserts the span invariant on every recorded op: stages are
+// known, non-negative, and sum exactly to the op's duration.
+func checkSpans(t *testing.T, log *trace.Log) {
+	t.Helper()
+	known := map[string]bool{}
+	for _, st := range trace.StageOrder() {
+		known[st] = true
+	}
+	for _, op := range log.Ops() {
+		if len(op.Spans) == 0 {
+			t.Fatalf("op without spans: %+v", op)
+		}
+		for _, sp := range op.Spans {
+			if !known[sp.Stage] {
+				t.Fatalf("unknown stage %q in %+v", sp.Stage, op)
+			}
+			if sp.Dur < 0 {
+				t.Fatalf("negative span in %+v", op)
+			}
+		}
+		if got := sumSpans(op); got != op.Duration {
+			t.Fatalf("%s/%s spans sum to %v, duration %v (spans %v)",
+				op.Service, op.Name, got, op.Duration, op.Spans)
+		}
+	}
+}
+
+// TestSpansSumToDuration runs the mixed blob/queue/table workload with
+// tracing attached and verifies exact per-stage attribution on every op.
+func TestSpansSumToDuration(t *testing.T) {
+	log := trace.New(10000)
+	miniWorkload(t, true, func(c *Cloud) { c.SetTrace(log) })
+	if log.Len() == 0 {
+		t.Fatal("no ops recorded")
+	}
+	checkSpans(t, log)
+	// Mutations must attribute a replication tail; reads must not.
+	var putRepl, getRepl time.Duration
+	for _, op := range log.Ops() {
+		switch op.Name {
+		case "PutMessage":
+			putRepl += op.SpanDur(trace.StageReplicate)
+		case "Download":
+			getRepl += op.SpanDur(trace.StageReplicate)
+		}
+	}
+	if putRepl == 0 {
+		t.Fatal("PutMessage recorded no replicate span")
+	}
+	if getRepl != 0 {
+		t.Fatalf("Download recorded a replicate span (%v)", getRepl)
+	}
+}
+
+// TestSpansUnderThrottling drives a hot queue past its scalability target
+// so ops block in the server queue, get throttled, and retry — the
+// contended stages must appear and the sums must still be exact.
+func TestSpansUnderThrottling(t *testing.T) {
+	env := sim.NewEnv(3)
+	c := New(env, model.Default())
+	log := trace.New(100000)
+	c.SetTrace(log)
+	setup := c.NewClient("setup", model.Small)
+	env.Go("setup", func(p *sim.Proc) {
+		if _, err := setup.CreateQueueIfNotExists(p, "hot"); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	for k := 0; k < 32; k++ {
+		cl := c.NewClient("vm", model.Small)
+		env.Go("w", func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				if _, err := cl.WithRetry(p, func() error {
+					_, err := cl.PutMessage(p, "hot", payload.Zero(1024))
+					return err
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	env.Run()
+	checkSpans(t, log)
+	var backoff, queueWait, throttled time.Duration
+	for _, op := range log.Ops() {
+		backoff += op.SpanDur(trace.StageRetryBackoff)
+		queueWait += op.SpanDur(trace.StageQueueWait)
+		throttled += op.SpanDur(trace.StageThrottle)
+	}
+	if backoff == 0 {
+		t.Error("no retry-backoff time attributed under throttling")
+	}
+	if queueWait == 0 {
+		t.Error("no queue-wait time attributed under contention")
+	}
+	if throttled == 0 {
+		t.Error("no throttle time attributed on rejected attempts")
+	}
+}
+
+// TestSpansUnderFaults verifies the invariant holds on the fault paths
+// too: timed-out and reset ops still account every virtual nanosecond.
+func TestSpansUnderFaults(t *testing.T) {
+	log := trace.New(10000)
+	miniWorkload(t, false, func(c *Cloud) {
+		c.SetTrace(log)
+		c.SetFaults(faults.NewInjector(faults.Plan{
+			Seed: 99,
+			Rules: []faults.Rule{
+				{Kind: faults.Timeout, Rate: 0.15},
+				{Kind: faults.Internal, Rate: 0.1},
+			},
+			Timeout: 2 * time.Second,
+		}))
+	})
+	checkSpans(t, log)
+	faulted := log.FaultOps()
+	if len(faulted) == 0 {
+		t.Fatal("no faults injected; fault-path guard is vacuous")
+	}
+	var faultWait time.Duration
+	for _, op := range faulted {
+		faultWait += op.SpanDur(trace.StageFaultWait)
+	}
+	if faultWait == 0 {
+		t.Error("no fault-wait time attributed to timed-out ops")
+	}
+}
+
+// TestTraceAttachNoDrift is the zero-cost guard: attaching the tracer
+// must not move the virtual clock or the cloud's counters by one tick.
+func TestTraceAttachNoDrift(t *testing.T) {
+	bareNow, bareStats := miniWorkload(t, true, nil)
+	traceNow, traceStats := miniWorkload(t, true, func(c *Cloud) {
+		c.SetTrace(trace.New(10000))
+	})
+	if bareNow != traceNow {
+		t.Errorf("virtual clock drifted: bare=%v traced=%v", bareNow, traceNow)
+	}
+	if bareStats != traceStats {
+		t.Errorf("stats drifted:\nbare   = %+v\ntraced = %+v", bareStats, traceStats)
+	}
 }

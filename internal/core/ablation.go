@@ -111,7 +111,7 @@ func (s *Suite) RunAblation() *Report {
 		}
 		sub := s.withParams(func(p *paramsAlias) { p.Quirk16KBGet = enabled })
 		for _, sizeKB := range []int{8, 16, 32} {
-			st := sub.runQueuePerWorkerPoint(4, sizeKB)
+			st, _ := sub.runQueuePerWorkerPoint(4, sizeKB, fmt.Sprintf("ablation-quirk/%dKB", sizeKB))
 			stats := st[phQueueGet]
 			quirk.AddPoint(series, float64(sizeKB), float64(stats.ops.Mean())/float64(time.Millisecond))
 		}
@@ -133,9 +133,14 @@ func (s *Suite) RunAblation() *Report {
 // paramsAlias names the model parameter struct for the ablation closures.
 type paramsAlias = model.Params
 
-// withParams clones the suite with mutated model parameters.
+// withParams clones the suite with mutated model parameters. The clone
+// shares the parent's trace log and sampler bag so ablation observability
+// lands in the same exports.
 func (s *Suite) withParams(mutate func(*paramsAlias)) *Suite {
 	cfg := s.cfg
 	mutate(&cfg.Params)
-	return NewSuite(cfg)
+	sub := NewSuite(cfg)
+	sub.traceLog = s.traceLog
+	sub.samplers = s.samplers
+	return sub
 }

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"azurebench/internal/model"
 	"azurebench/internal/sim"
 	"azurebench/internal/storecommon"
+	"azurebench/internal/telemetry"
 	"azurebench/internal/trace"
 )
 
@@ -57,6 +59,15 @@ type Config struct {
 	// TraceOps attaches an operation log (Suite.TraceLog) to every cloud
 	// the experiments build.
 	TraceOps bool
+
+	// Telemetry attaches a station sampler to the experiments'
+	// instrumented data points, recording per-partition-server queue
+	// depth, utilization and throttle-reject rate on the virtual clock
+	// (Suite.Samplers). Sampling only reads statistics, so the simulated
+	// results are unchanged by it.
+	Telemetry bool
+	// TelemetryInterval is the sampling period (<= 0 means 250ms).
+	TelemetryInterval time.Duration
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -138,6 +149,14 @@ type Experiment struct {
 type Suite struct {
 	cfg      Config
 	traceLog *trace.Log
+	samplers *samplerBag
+}
+
+// samplerBag accumulates every sampler the suite's experiments attach; it
+// is shared (by pointer) with parameter-mutated sub-suites so ablation
+// telemetry is not lost.
+type samplerBag struct {
+	list []*telemetry.Sampler
 }
 
 // NewSuite returns a suite over cfg.
@@ -151,7 +170,7 @@ func NewSuite(cfg Config) *Suite {
 	if cfg.Params.RTT == 0 {
 		cfg.Params = model.Default()
 	}
-	s := &Suite{cfg: cfg}
+	s := &Suite{cfg: cfg, samplers: &samplerBag{}}
 	if cfg.TraceOps {
 		s.traceLog = trace.New(1 << 20)
 	}
@@ -160,6 +179,23 @@ func NewSuite(cfg Config) *Suite {
 
 // TraceLog returns the shared operation log (nil unless Config.TraceOps).
 func (s *Suite) TraceLog() *trace.Log { return s.traceLog }
+
+// Samplers returns every station sampler the experiments attached, in
+// attachment order (empty unless Config.Telemetry).
+func (s *Suite) Samplers() []*telemetry.Sampler {
+	return append([]*telemetry.Sampler(nil), s.samplers.list...)
+}
+
+// WriteStats streams every collected telemetry sample as JSONL, one
+// labelled record per line — the writer behind azurebench's -statsfile.
+func (s *Suite) WriteStats(w io.Writer) error {
+	for _, sp := range s.samplers.list {
+		if err := sp.WriteJSONL(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Config returns the suite's configuration.
 func (s *Suite) Config() Config { return s.cfg }
@@ -204,6 +240,19 @@ func (s *Suite) newCloud() (*sim.Env, *cloud.Cloud) {
 		c.SetTrace(s.traceLog)
 	}
 	return env, c
+}
+
+// sample attaches a station sampler (labelled for export) to the point's
+// environment and registers it with the suite; nil when telemetry is off,
+// in which case no sampler process exists and the run is untouched.
+func (s *Suite) sample(env *sim.Env, c *cloud.Cloud, label string) *telemetry.Sampler {
+	if !s.cfg.Telemetry {
+		return nil
+	}
+	sp := telemetry.NewSampler(label, s.cfg.TelemetryInterval)
+	sp.Watch(env, c.Stations)
+	s.samplers.list = append(s.samplers.list, sp)
+	return sp
 }
 
 // workerResult carries one worker's phase timings, keyed by phase name.

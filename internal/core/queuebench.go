@@ -8,6 +8,7 @@ import (
 	"azurebench/internal/payload"
 	"azurebench/internal/sim"
 	"azurebench/internal/storecommon"
+	"azurebench/internal/telemetry"
 )
 
 // Queue benchmark phases (Algorithm 3).
@@ -30,9 +31,12 @@ func effectiveMsgSize(kb int) int64 {
 
 // runQueuePerWorkerPoint executes Algorithm 3 at one (workers, size)
 // point: each worker owns a dedicated queue, inserts its share of the
-// 20 000 messages, peeks them, then gets+deletes them.
-func (s *Suite) runQueuePerWorkerPoint(w int, sizeKB int) map[string]phaseStats {
+// 20 000 messages, peeks them, then gets+deletes them. When telemetry is
+// enabled a station sampler (labelled for export) records the point's
+// queue-server timelines; it is nil otherwise.
+func (s *Suite) runQueuePerWorkerPoint(w int, sizeKB int, label string) (map[string]phaseStats, *telemetry.Sampler) {
 	env, c := s.newCloud()
+	sp := s.sample(env, c, label)
 	cfg := s.cfg
 	msgSize := effectiveMsgSize(sizeKB)
 
@@ -103,7 +107,7 @@ func (s *Suite) runQueuePerWorkerPoint(w int, sizeKB int) map[string]phaseStats 
 	for _, ph := range []string{phQueuePut, phQueuePeek, phQueueGet} {
 		out[ph] = aggregate(results, ph)
 	}
-	return out
+	return out, sp
 }
 
 // RunFig6 reproduces Figure 6: Put/Peek/Get time versus workers with a
@@ -115,17 +119,32 @@ func (s *Suite) RunFig6() *Report {
 		phQueuePeek: {Title: "Figure 6(b): Peek Message — separate queue per worker", XLabel: "workers", YLabel: "seconds (mean per worker, whole phase)"},
 		phQueueGet:  {Title: "Figure 6(c): Get Message (incl. delete) — separate queue per worker", XLabel: "workers", YLabel: "seconds (mean per worker, whole phase)"},
 	}
+	var showcase *telemetry.Sampler
+	workers := sortedCopy(s.cfg.Workers)
 	for _, sizeKB := range s.cfg.QueueSizesKB {
 		series := fmt.Sprintf("%dKB", sizeKB)
 		if effectiveMsgSize(sizeKB) != int64(sizeKB)*storecommon.KB {
 			series = fmt.Sprintf("%dKB(48KB usable)", sizeKB)
 		}
-		for _, w := range sortedCopy(s.cfg.Workers) {
-			st := s.runQueuePerWorkerPoint(w, sizeKB)
+		for _, w := range workers {
+			st, sp := s.runQueuePerWorkerPoint(w, sizeKB,
+				fmt.Sprintf("fig6/w=%d/%dKB", w, sizeKB))
+			// Keep the busiest point (most workers, largest messages) as
+			// the showcase timeline rendered below the figures.
+			if sp != nil && w == workers[len(workers)-1] {
+				showcase = sp
+			}
 			for ph, fig := range figs {
 				fig.AddPoint(series, float64(w), st[ph].mean.Seconds())
 			}
 		}
+	}
+	notes := []string{
+		fmt.Sprintf("%d messages total, split across workers; Get includes the Delete, as in the paper", s.cfg.QueueMessages),
+		"the 16 KB Get anomaly the paper reports is reproduced via model.Quirk16KBGet (default on)",
+	}
+	if showcase != nil {
+		notes = append(notes, "\n"+showcase.RenderTop(3))
 	}
 	return &Report{
 		ID:    "fig6",
@@ -133,10 +152,7 @@ func (s *Suite) RunFig6() *Report {
 		Figures: []metrics.Figure{
 			*figs[phQueuePut], *figs[phQueuePeek], *figs[phQueueGet],
 		},
-		Notes: []string{
-			fmt.Sprintf("%d messages total, split across workers; Get includes the Delete, as in the paper", s.cfg.QueueMessages),
-			"the 16 KB Get anomaly the paper reports is reproduced via model.Quirk16KBGet (default on)",
-		},
-		Wall: time.Since(wall),
+		Notes: notes,
+		Wall:  time.Since(wall),
 	}
 }

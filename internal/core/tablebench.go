@@ -38,6 +38,9 @@ func (s *Suite) runTablePoint(w int, sizeKB int) map[string]phaseStats {
 		})
 	})
 	env.Run()
+	// Attach the sampler after setup so its process spans exactly the
+	// benchmark phases (it exits when it is the last process standing).
+	s.sample(env, c, fmt.Sprintf("table/w=%d/%dKB", w, sizeKB))
 
 	results := make([]*workerResult, w)
 	for k := 0; k < w; k++ {
@@ -166,7 +169,7 @@ func (s *Suite) RunFig9() *Report {
 	const sizeKB = 4
 	for _, w := range sortedCopy(s.cfg.Workers) {
 		tab := s.runTablePoint(w, sizeKB)
-		q := s.runQueuePerWorkerPoint(w, sizeKB)
+		q, _ := s.runQueuePerWorkerPoint(w, sizeKB, fmt.Sprintf("fig9/w=%d/%dKB", w, sizeKB))
 		add := func(name string, st phaseStats) {
 			fig.AddPoint(name, float64(w), float64(st.ops.Mean())/float64(time.Millisecond))
 		}

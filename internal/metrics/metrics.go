@@ -282,6 +282,18 @@ func (c *Counters) Add(name string, v float64) {
 // Get returns the counter's value (0 when absent).
 func (c *Counters) Get(name string) float64 { return c.vals[name] }
 
+// Merge folds other into c: shared names accumulate, new names append in
+// other's insertion order, so merged reports render as stably as their
+// inputs.
+func (c *Counters) Merge(other *Counters) {
+	if other == nil {
+		return
+	}
+	for _, n := range other.names {
+		c.Add(n, other.vals[n])
+	}
+}
+
 // Names returns the counter names in insertion order.
 func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
 

@@ -206,6 +206,11 @@ func (p Params) replCost() time.Duration {
 	return time.Duration(p.Replicas-1) * p.ReplHop
 }
 
+// ReplCost exposes the synchronous-replication component of mutation
+// occupancies so the tracing layer can attribute it to its own pipeline
+// stage instead of folding it into generic server time.
+func (p Params) ReplCost() time.Duration { return p.replCost() }
+
 // --- Blob occupancy ---
 
 // BlockPutOcc is the server occupancy of a PutBlock of size bytes.

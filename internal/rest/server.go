@@ -62,6 +62,11 @@ type Server struct {
 	mux   *http.ServeMux
 
 	throttle *throttler
+
+	// Per-endpoint request counters and latency histograms, served at
+	// /statsz and via MetricsSnapshot (see stats.go).
+	statsMu sync.Mutex
+	stats   map[string]*endpointStats
 }
 
 // NewServer builds an emulator with fresh engines.
@@ -76,6 +81,7 @@ func NewServer(opts Options) *Server {
 		Table: tablestore.New(clock),
 		clock: clock,
 		mux:   http.NewServeMux(),
+		stats: map[string]*endpointStats{},
 	}
 	if opts.Throttle {
 		s.throttle = newThrottler(opts)
@@ -98,13 +104,17 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("x-ms-version", "2011-08-18")
-	s.mux.ServeHTTP(w, r)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.observe(r, sw.status, time.Since(start))
 }
 
 // --- throttling ---

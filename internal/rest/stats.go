@@ -1,0 +1,119 @@
+package rest
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"azurebench/internal/metrics"
+)
+
+// EndpointStats is one endpoint's live counters: request count, error and
+// throttle counts, and a latency histogram. Endpoints are keyed by HTTP
+// method plus the first path segment ("PUT /blob", "GET /queue", ...), the
+// granularity at which the emulator's scalability targets operate.
+type EndpointStats struct {
+	Endpoint  string             `json:"endpoint"`
+	Count     uint64             `json:"count"`
+	Errors    uint64             `json:"errors"`    // responses with status >= 400
+	Throttled uint64             `json:"throttled"` // 503 ServerBusy responses
+	Latency   *metrics.Histogram `json:"latency"`
+}
+
+// endpointStats is the mutable interior form behind the stats mutex.
+type endpointStats struct {
+	count     uint64
+	errors    uint64
+	throttled uint64
+	lat       metrics.Histogram
+}
+
+// statusWriter records the status code a handler writes so the
+// instrumentation can classify the response after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// endpointKey reduces a request to its stats key: method + first path
+// segment.
+func endpointKey(r *http.Request) string {
+	path := r.URL.Path
+	if path == "" {
+		path = "/"
+	}
+	if i := strings.Index(path[1:], "/"); i >= 0 {
+		path = path[:i+1]
+	}
+	return r.Method + " " + path
+}
+
+// observe records one completed request.
+func (s *Server) observe(r *http.Request, status int, d time.Duration) {
+	key := endpointKey(r)
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	es := s.stats[key]
+	if es == nil {
+		es = &endpointStats{}
+		s.stats[key] = es
+	}
+	es.count++
+	if status >= 400 {
+		es.errors++
+	}
+	if status == http.StatusServiceUnavailable {
+		es.throttled++
+	}
+	es.lat.Observe(d)
+}
+
+// MetricsSnapshot returns a copy of every endpoint's stats, sorted by
+// endpoint key. The histograms are copies; callers may merge or mutate
+// them freely.
+func (s *Server) MetricsSnapshot() []EndpointStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	out := make([]EndpointStats, 0, len(s.stats))
+	for key, es := range s.stats {
+		lat := es.lat // value copy of the fixed-layout histogram
+		out = append(out, EndpointStats{
+			Endpoint:  key,
+			Count:     es.count,
+			Errors:    es.errors,
+			Throttled: es.throttled,
+			Latency:   &lat,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
+
+// handleStatsz serves the stats snapshot as JSON — the emulator's
+// lightweight metrics endpoint (expvar-friendly, no dependencies).
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodNotAllowed(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.MetricsSnapshot())
+}

@@ -1,0 +1,153 @@
+package rest
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestEndpointKey(t *testing.T) {
+	for _, tc := range []struct{ method, path, want string }{
+		{"PUT", "/blob/c/b", "PUT /blob"},
+		{"GET", "/queue/q/messages", "GET /queue"},
+		{"GET", "/healthz", "GET /healthz"},
+		{"GET", "/", "GET /"},
+	} {
+		r := httptest.NewRequest(tc.method, "http://x"+tc.path, nil)
+		if got := endpointKey(r); got != tc.want {
+			t.Errorf("endpointKey(%s %s) = %q, want %q", tc.method, tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestStatszCountsAndClassifies(t *testing.T) {
+	srv := NewServer(Options{})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	do := func(method, path, body string) {
+		req, err := http.NewRequest(method, hs.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := hs.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	do("PUT", "/blob/ctn", "")                // create container: ok
+	do("PUT", "/blob/ctn/b.bin", "hello")     // upload: ok
+	do("GET", "/blob/ctn/b.bin", "")          // download: ok
+	do("GET", "/blob/absent/missing.bin", "") // 404: counted as error
+
+	resp, err := hs.Client().Get(hs.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("statsz status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var stats []struct {
+		Endpoint  string `json:"endpoint"`
+		Count     uint64 `json:"count"`
+		Errors    uint64 `json:"errors"`
+		Throttled uint64 `json:"throttled"`
+		Latency   struct {
+			Count uint64 `json:"count"`
+			MaxNs int64  `json:"max_ns"`
+		} `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("statsz not JSON: %v", err)
+	}
+	byKey := map[string]int{}
+	for i, s := range stats {
+		byKey[s.Endpoint] = i
+		if i > 0 && stats[i-1].Endpoint >= s.Endpoint {
+			t.Fatalf("endpoints not sorted: %q before %q", stats[i-1].Endpoint, s.Endpoint)
+		}
+	}
+	put, ok := byKey["PUT /blob"]
+	if !ok {
+		t.Fatalf("PUT /blob missing: %+v", stats)
+	}
+	if stats[put].Count != 2 || stats[put].Errors != 0 {
+		t.Fatalf("PUT /blob = %+v", stats[put])
+	}
+	if stats[put].Latency.Count != 2 || stats[put].Latency.MaxNs <= 0 {
+		t.Fatalf("PUT /blob latency = %+v", stats[put].Latency)
+	}
+	get, ok := byKey["GET /blob"]
+	if !ok {
+		t.Fatalf("GET /blob missing: %+v", stats)
+	}
+	if stats[get].Count != 2 || stats[get].Errors != 1 {
+		t.Fatalf("GET /blob = %+v", stats[get])
+	}
+}
+
+func TestStatszCountsThrottles(t *testing.T) {
+	srv := NewServer(Options{Throttle: true, QueueOpsPerSec: 0.001, AccountOpsPerSec: 1e6})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	// Creating the queue charges the queue scope's nearly-empty bucket;
+	// repeated creates must throttle.
+	saw503 := false
+	for i := 0; i < 10; i++ {
+		resp, err := hs.Client().Post(hs.URL+"/queue/q1", "application/xml", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			saw503 = true
+		}
+	}
+	if !saw503 {
+		t.Skip("throttler did not reject within 10 requests")
+	}
+	snap := srv.MetricsSnapshot()
+	for _, s := range snap {
+		if s.Endpoint == "POST /queue" {
+			if s.Throttled == 0 {
+				t.Fatalf("throttled = 0: %+v", s)
+			}
+			if s.Throttled > s.Errors {
+				t.Fatalf("throttled > errors: %+v", s)
+			}
+			return
+		}
+	}
+	t.Fatalf("POST /queue missing: %+v", snap)
+}
+
+func TestMetricsSnapshotIsACopy(t *testing.T) {
+	srv := NewServer(Options{})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	snap := srv.MetricsSnapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	snap[0].Latency.Observe(0) // mutating the copy must not touch the live stats
+	again := srv.MetricsSnapshot()
+	if again[0].Latency.Count() != snap[0].Latency.Count()-1 {
+		t.Fatalf("snapshot shares state: live=%d mutated=%d",
+			again[0].Latency.Count(), snap[0].Latency.Count())
+	}
+}

@@ -49,6 +49,12 @@ type Policy struct {
 	// attempts remain. Workers sharing one Budget cannot collectively
 	// storm a degraded service.
 	Budget *Budget
+	// OnBackoff, when non-nil, is invoked by executors just before each
+	// backoff sleep with the retry ordinal (1 for the first retry) and the
+	// chosen delay — the observability hook through which backoff time is
+	// attributed to retry-backoff trace spans (simulation) or counted in
+	// client stats (live SDK). It must not block.
+	OnBackoff func(retries int, d time.Duration)
 }
 
 // Paper returns the retry discipline of the source paper's benchmark:

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"azurebench/internal/retry"
@@ -25,6 +26,17 @@ type Client struct {
 	base   string
 	http   *http.Client
 	policy RetryPolicy
+
+	// Live retry telemetry (atomic: SDK clients are shared by goroutines).
+	retryCount   atomic.Int64
+	backoffSlept atomic.Int64 // nanoseconds
+}
+
+// RetryStats reports how many retries the client has performed and the
+// total time it spent sleeping between attempts — the live-mode mirror of
+// the simulation's retry-backoff trace spans.
+func (c *Client) RetryStats() (retries int64, slept time.Duration) {
+	return c.retryCount.Load(), time.Duration(c.backoffSlept.Load())
 }
 
 // RetryPolicy controls retries. The zero values of the optional fields
@@ -148,8 +160,14 @@ func (c *Client) do(req request) (*response, error) {
 		if !pol.ShouldRetry(retries, time.Since(start), err) {
 			return resp, err
 		}
-		time.Sleep(pol.Delay(retries, rand.Float64))
+		d := pol.Delay(retries, rand.Float64)
 		retries++
+		c.retryCount.Add(1)
+		c.backoffSlept.Add(int64(d))
+		if pol.OnBackoff != nil {
+			pol.OnBackoff(retries, d)
+		}
+		time.Sleep(d)
 	}
 }
 

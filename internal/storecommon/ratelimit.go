@@ -9,10 +9,11 @@ import "time"
 // RateLimiter is not safe for concurrent use; wrap it in a mutex for live
 // mode (the simulated cloud is single-threaded by construction).
 type RateLimiter struct {
-	rate   float64 // tokens per second
-	burst  float64 // bucket capacity
-	tokens float64
-	last   time.Duration
+	rate    float64 // tokens per second
+	burst   float64 // bucket capacity
+	tokens  float64
+	last    time.Duration
+	rejects uint64
 }
 
 // NewRateLimiter returns a full bucket admitting rate tokens per second
@@ -32,8 +33,16 @@ func (l *RateLimiter) Allow(now time.Duration, n float64) bool {
 		l.tokens -= n
 		return true
 	}
+	l.rejects++
 	return false
 }
+
+// Rejects returns how many Allow calls have been refused — the
+// throttle-reject signal station telemetry samples.
+func (l *RateLimiter) Rejects() uint64 { return l.rejects }
+
+// Rate returns the limiter's admission rate in tokens per second.
+func (l *RateLimiter) Rate() float64 { return l.rate }
 
 // Tokens returns the available tokens at instant now.
 func (l *RateLimiter) Tokens(now time.Duration) float64 {

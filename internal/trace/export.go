@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonOp is the JSONL wire form of an Op. Durations are integer
+// nanoseconds so exported traces round-trip exactly; spans map stage name
+// to attributed nanoseconds (keys marshal sorted, so output is
+// deterministic).
+type jsonOp struct {
+	StartNs int64            `json:"start_ns"`
+	DurNs   int64            `json:"dur_ns"`
+	Client  string           `json:"client,omitempty"`
+	Service string           `json:"service"`
+	Op      string           `json:"op"`
+	Bytes   int64            `json:"bytes,omitempty"`
+	Err     string           `json:"err,omitempty"`
+	Fault   string           `json:"fault,omitempty"`
+	Spans   map[string]int64 `json:"spans,omitempty"`
+}
+
+// WriteJSONL writes the retained operations to w, one JSON object per
+// line, in record order — the machine-readable export behind azurebench's
+// -tracefile flag. When eviction has truncated the log a leading metadata
+// line records the boundary and drop count.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline for us
+	if d := l.Dropped(); d > 0 {
+		meta := struct {
+			Dropped         uint64 `json:"dropped"`
+			EvictedBeforeNs int64  `json:"evicted_before_ns"`
+		}{d, int64(l.EvictedBefore())}
+		if err := enc.Encode(meta); err != nil {
+			return err
+		}
+	}
+	for _, op := range l.Ops() {
+		jo := jsonOp{
+			StartNs: int64(op.Start),
+			DurNs:   int64(op.Duration),
+			Client:  op.Client,
+			Service: op.Service,
+			Op:      op.Name,
+			Bytes:   op.Bytes,
+			Err:     op.Err,
+			Fault:   op.Fault,
+		}
+		if len(op.Spans) > 0 {
+			jo.Spans = make(map[string]int64, len(op.Spans))
+			for _, sp := range op.Spans {
+				jo.Spans[sp.Stage] += int64(sp.Dur)
+			}
+		}
+		if err := enc.Encode(jo); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,8 +1,9 @@
 // Package trace records storage operations as they execute — the
 // observability layer of the simulated cloud. Experiments and examples can
 // attach a Log to a cloud (cloud.SetTrace) and afterwards render per-op
-// summaries or ops-per-second timelines, which is how the performance
-// model's behaviour is debugged when a figure comes out wrong.
+// summaries, per-stage time attribution, or ops-per-second timelines,
+// which is how the performance model's behaviour is debugged when a figure
+// comes out wrong.
 package trace
 
 import (
@@ -12,6 +13,36 @@ import (
 	"sync"
 	"time"
 )
+
+// Pipeline stage identifiers for Span.Stage. A recorded operation's spans
+// partition its duration over these stages; StageOrder gives the canonical
+// pipeline ordering for rendering.
+const (
+	StageRetryBackoff = "retry-backoff" // sleeping between attempts of a retried op
+	StageNicIn        = "nic-in"        // request overhead + uplink NIC transfer + request travel
+	StageThrottle     = "throttle"      // rejection path of an admission-control throttle
+	StageQueueWait    = "queue-wait"    // waiting in the partition server's FIFO queue
+	StageServer       = "server"        // partition-server/engine occupancy
+	StageReplicate    = "replicate"     // synchronous replication tail of a mutation
+	StagePipeline     = "pipeline"      // post-server storage-pipeline latency
+	StageNicOut       = "nic-out"       // response travel + downlink NIC transfer
+	StageFaultWait    = "fault-wait"    // waiting out an injected network timeout
+)
+
+// StageOrder returns the canonical pipeline ordering of span stages.
+func StageOrder() []string {
+	return []string{
+		StageRetryBackoff, StageNicIn, StageThrottle, StageQueueWait,
+		StageServer, StageReplicate, StagePipeline, StageNicOut,
+		StageFaultWait,
+	}
+}
+
+// Span attributes part of an operation's duration to one pipeline stage.
+type Span struct {
+	Stage string
+	Dur   time.Duration
+}
 
 // Op is one recorded storage operation.
 type Op struct {
@@ -23,18 +54,32 @@ type Op struct {
 	Bytes    int64  // payload bytes moved (both directions)
 	Err      string // storage error code, "" on success
 	Fault    string // injected fault kind ("timeout", "reset", ...), "" if none
+	// Spans is the per-stage breakdown of Duration; the stage durations sum
+	// to Duration exactly. Empty when the recorder did not attribute stages.
+	Spans []Span
+}
+
+// SpanDur returns the duration attributed to stage ("" total when absent).
+func (op Op) SpanDur(stage string) time.Duration {
+	for _, sp := range op.Spans {
+		if sp.Stage == stage {
+			return sp.Dur
+		}
+	}
+	return 0
 }
 
 // Log is a bounded in-memory operation log. It is safe for concurrent
 // use. When the capacity is exceeded the oldest entries are dropped (and
 // counted).
 type Log struct {
-	mu      sync.Mutex
-	cap     int
-	ops     []Op
-	dropped uint64
-	firstAt time.Duration
-	lastAt  time.Duration
+	mu            sync.Mutex
+	cap           int
+	ops           []Op
+	dropped       uint64
+	firstAt       time.Duration
+	lastAt        time.Duration
+	evictedBefore time.Duration
 }
 
 // New creates a log bounded to capacity entries (<=0 means 1<<20).
@@ -59,8 +104,17 @@ func (l *Log) Record(op Op) {
 		// Drop the oldest half rather than shifting per insert.
 		half := len(l.ops) / 2
 		copy(l.ops, l.ops[half:])
+		for i := len(l.ops) - half; i < len(l.ops); i++ {
+			l.ops[i] = Op{} // release span slices of evicted entries
+		}
 		l.ops = l.ops[:len(l.ops)-half]
 		l.dropped += uint64(half)
+		// Everything before the earliest retained start is now outside the
+		// window; renders annotate this boundary instead of silently
+		// reporting partial aggregates.
+		if len(l.ops) > 0 && l.ops[0].Start > l.evictedBefore {
+			l.evictedBefore = l.ops[0].Start
+		}
 	}
 	l.ops = append(l.ops, op)
 }
@@ -77,6 +131,25 @@ func (l *Log) Dropped() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.dropped
+}
+
+// EvictedBefore returns the truncation boundary left by capacity-bound
+// eviction: operations starting before this instant have been dropped, so
+// any aggregate or timeline covering earlier times reports a partial
+// window. It is zero while nothing has been evicted.
+func (l *Log) EvictedBefore() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evictedBefore
+}
+
+// Window returns the time range covered by recorded operations: the
+// earliest recorded start and the latest recorded end (including since
+// evicted entries, which only widen the window).
+func (l *Log) Window() (first, last time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstAt, l.lastAt
 }
 
 // Ops returns a copy of the retained operations in record order.
@@ -110,6 +183,7 @@ func (l *Log) Reset() {
 	l.ops = l.ops[:0]
 	l.dropped = 0
 	l.firstAt, l.lastAt = 0, 0
+	l.evictedBefore = 0
 }
 
 // rowKey groups summary rows.
@@ -132,7 +206,8 @@ type SummaryRow struct {
 }
 
 // Rows aggregates the log per (service, operation), sorted by service
-// then operation.
+// then operation. When eviction has truncated the window the rows cover
+// only operations at or after EvictedBefore.
 func (l *Log) Rows() []SummaryRow {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -171,6 +246,17 @@ func (l *Log) Rows() []SummaryRow {
 	return out
 }
 
+// truncationNote renders the eviction annotation shared by Summary and
+// StageSummary ("" when nothing was evicted).
+func (l *Log) truncationNote() string {
+	d := l.Dropped()
+	if d == 0 {
+		return ""
+	}
+	return fmt.Sprintf("(%d older operations dropped by the capacity bound; window truncated before %v)\n",
+		d, l.EvictedBefore().Round(time.Millisecond))
+}
+
 // Summary renders the per-op aggregates as an aligned text table.
 func (l *Log) Summary() string {
 	rows := l.Rows()
@@ -182,17 +268,140 @@ func (l *Log) Summary() string {
 			r.Service, r.Name, r.Count, r.Errors, r.Faults, r.Bytes,
 			r.Mean.Round(time.Microsecond), r.Max.Round(time.Microsecond))
 	}
-	if d := l.Dropped(); d > 0 {
-		fmt.Fprintf(&b, "(%d older operations dropped by the capacity bound)\n", d)
-	}
+	b.WriteString(l.truncationNote())
 	return b.String()
+}
+
+// StageRow aggregates span stages per (service, operation).
+type StageRow struct {
+	Service string
+	Name    string
+	Count   int                      // operations carrying spans
+	Total   time.Duration            // summed duration of those operations
+	Stages  map[string]time.Duration // per-stage totals; sums to Total
+}
+
+// StageRows aggregates per-stage time attribution per (service,
+// operation), sorted by service then operation. Operations recorded
+// without spans are excluded.
+func (l *Log) StageRows() []StageRow {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	agg := map[rowKey]*StageRow{}
+	for _, op := range l.ops {
+		if len(op.Spans) == 0 {
+			continue
+		}
+		k := rowKey{op.Service, op.Name}
+		r := agg[k]
+		if r == nil {
+			r = &StageRow{Service: op.Service, Name: op.Name, Stages: map[string]time.Duration{}}
+			agg[k] = r
+		}
+		r.Count++
+		r.Total += op.Duration
+		for _, sp := range op.Spans {
+			r.Stages[sp.Stage] += sp.Dur
+		}
+	}
+	var out []StageRow
+	for _, r := range agg {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service != out[j].Service {
+			return out[i].Service < out[j].Service
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// StageSummary renders the per-stage time attribution as an aligned table:
+// one row per (service, op), one column per pipeline stage that appears,
+// cells as percentage of the row's total time. This is the report that
+// answers "where does PutBlock time go at 64 workers".
+func (l *Log) StageSummary() string {
+	rows := l.StageRows()
+	if len(rows) == 0 {
+		return "(no operations with stage spans recorded)\n"
+	}
+	present := map[string]bool{}
+	for _, r := range rows {
+		for st := range r.Stages {
+			present[st] = true
+		}
+	}
+	var stages []string
+	for _, st := range StageOrder() {
+		if present[st] {
+			stages = append(stages, st)
+			delete(present, st)
+		}
+	}
+	// Stages outside the canonical order render last, alphabetically.
+	var extra []string
+	for st := range present {
+		extra = append(extra, st)
+	}
+	sort.Strings(extra)
+	stages = append(stages, extra...)
+
+	var b strings.Builder
+	b.WriteString("stage attribution (% of summed op time)\n")
+	header := []string{"service", "op", "count", "total"}
+	header = append(header, stages...)
+	table := [][]string{header}
+	for _, r := range rows {
+		row := []string{r.Service, r.Name, fmt.Sprintf("%d", r.Count),
+			r.Total.Round(time.Millisecond).String()}
+		for _, st := range stages {
+			d := r.Stages[st]
+			if d == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.1f%%", 100*float64(d)/float64(r.Total)))
+			}
+		}
+		table = append(table, row)
+	}
+	writeAlignedTable(&b, table)
+	b.WriteString(l.truncationNote())
+	return b.String()
+}
+
+func writeAlignedTable(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
 }
 
 // TimelinePoint is one bucket of the ops-per-second timeline.
 type TimelinePoint struct {
-	At   time.Duration
-	Ops  int
-	Errs int
+	At    time.Duration
+	Ops   int
+	Errs  int
+	Bytes int64 // payload bytes of ops starting in the bucket (MB/s plots)
+	// Partial marks buckets overlapping the eviction boundary: some of the
+	// bucket's operations have been dropped, so its counts undercount.
+	Partial bool
 }
 
 // Timeline buckets operation starts into windows of the given width.
@@ -214,12 +423,16 @@ func (l *Log) Timeline(bucket time.Duration) []TimelinePoint {
 			counts[idx] = pt
 		}
 		pt.Ops++
+		pt.Bytes += op.Bytes
 		if op.Err != "" {
 			pt.Errs++
 		}
 	}
 	var out []TimelinePoint
 	for _, pt := range counts {
+		if pt.At < l.evictedBefore {
+			pt.Partial = true
+		}
 		out = append(out, *pt)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })

@@ -109,3 +109,146 @@ func TestEmptyTimeline(t *testing.T) {
 		t.Fatalf("empty timeline = %v", pts)
 	}
 }
+
+func TestEvictionBoundaryAndAnnotation(t *testing.T) {
+	l := New(10)
+	for i := 0; i < 25; i++ {
+		l.Record(Op{Start: time.Duration(i) * time.Second, Duration: time.Millisecond, Name: "op"})
+	}
+	if l.EvictedBefore() == 0 {
+		t.Fatal("eviction left no boundary")
+	}
+	ops := l.Ops()
+	// Retained ops must be in record order and all at/after the boundary.
+	for i, op := range ops {
+		if op.Start < l.EvictedBefore() {
+			t.Fatalf("op %d (start %v) predates boundary %v", i, op.Start, l.EvictedBefore())
+		}
+		if i > 0 && op.Start < ops[i-1].Start {
+			t.Fatalf("retained ops out of order at %d", i)
+		}
+	}
+	// The window still spans every recorded op, evicted ones included.
+	first, last := l.Window()
+	if first != 0 || last != 24*time.Second+time.Millisecond {
+		t.Fatalf("window = [%v, %v]", first, last)
+	}
+	// Renders must disclose the truncation.
+	if s := l.Summary(); !strings.Contains(s, "dropped by the capacity bound") {
+		t.Fatalf("summary hides eviction:\n%s", s)
+	}
+	// Reset clears the boundary.
+	l.Reset()
+	if l.EvictedBefore() != 0 {
+		t.Fatal("reset kept eviction boundary")
+	}
+}
+
+func TestSpanDurAndStageRows(t *testing.T) {
+	l := New(100)
+	op := Op{
+		Service: "blob", Name: "PutBlock", Duration: 10 * time.Millisecond,
+		Spans: []Span{
+			{Stage: StageNicIn, Dur: 2 * time.Millisecond},
+			{Stage: StageQueueWait, Dur: 3 * time.Millisecond},
+			{Stage: StageServer, Dur: 5 * time.Millisecond},
+		},
+	}
+	l.Record(op)
+	l.Record(op)
+	l.Record(Op{Service: "blob", Name: "GetBlock", Duration: time.Millisecond}) // no spans
+	if d := op.SpanDur(StageQueueWait); d != 3*time.Millisecond {
+		t.Fatalf("SpanDur = %v", d)
+	}
+	if d := op.SpanDur(StageFaultWait); d != 0 {
+		t.Fatalf("absent stage SpanDur = %v", d)
+	}
+	rows := l.StageRows()
+	if len(rows) != 1 {
+		t.Fatalf("stage rows = %d (span-less ops must be excluded)", len(rows))
+	}
+	r := rows[0]
+	if r.Count != 2 || r.Total != 20*time.Millisecond {
+		t.Fatalf("row = %+v", r)
+	}
+	if r.Stages[StageQueueWait] != 6*time.Millisecond {
+		t.Fatalf("queue-wait total = %v", r.Stages[StageQueueWait])
+	}
+	var sum time.Duration
+	for _, d := range r.Stages {
+		sum += d
+	}
+	if sum != r.Total {
+		t.Fatalf("stage totals sum to %v, row total %v", sum, r.Total)
+	}
+}
+
+func TestStageSummaryRendersPercentages(t *testing.T) {
+	l := New(100)
+	l.Record(Op{
+		Service: "queue", Name: "PutMessage", Duration: 10 * time.Millisecond,
+		Spans: []Span{
+			{Stage: StageNicIn, Dur: 4 * time.Millisecond},
+			{Stage: StageServer, Dur: 6 * time.Millisecond},
+		},
+	})
+	s := l.StageSummary()
+	for _, want := range []string{"PutMessage", StageNicIn, StageServer, "40.0%", "60.0%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("stage summary missing %q:\n%s", want, s)
+		}
+	}
+	// Stages never observed must not appear as columns.
+	if strings.Contains(s, StageFaultWait) {
+		t.Fatalf("stage summary lists unobserved stage:\n%s", s)
+	}
+	if s := New(10).StageSummary(); !strings.Contains(s, "no operations") {
+		t.Fatalf("empty stage summary = %q", s)
+	}
+}
+
+func TestTimelineBytes(t *testing.T) {
+	l := New(100)
+	for i := 0; i < 5; i++ {
+		l.Record(Op{Start: time.Duration(i) * 300 * time.Millisecond, Bytes: 100})
+	}
+	pts := l.Timeline(time.Second)
+	var bytes int64
+	for _, pt := range pts {
+		bytes += pt.Bytes
+		if pt.Partial {
+			t.Fatalf("partial bucket without eviction: %+v", pt)
+		}
+	}
+	if bytes != 500 {
+		t.Fatalf("timeline bytes = %d, want 500", bytes)
+	}
+}
+
+func TestTimelinePartialBucketAtEvictionBoundary(t *testing.T) {
+	// Capacity 4, ops every 750ms: recording the 5th evicts the oldest
+	// two, leaving ops at 1.5s, 2.25s, 3.0s, 3.75s with the boundary at
+	// 1.5s. The 1s bucket then holds only part of its ops.
+	l := New(4)
+	for i := 0; i < 6; i++ {
+		l.Record(Op{Start: time.Duration(i) * 750 * time.Millisecond, Bytes: 100})
+	}
+	if l.EvictedBefore() != 1500*time.Millisecond {
+		t.Fatalf("boundary = %v", l.EvictedBefore())
+	}
+	pts := l.Timeline(time.Second)
+	sawPartial := false
+	for _, pt := range pts {
+		if pt.At < l.EvictedBefore() {
+			if !pt.Partial {
+				t.Fatalf("bucket at %v not marked partial (boundary %v)", pt.At, l.EvictedBefore())
+			}
+			sawPartial = true
+		} else if pt.Partial {
+			t.Fatalf("bucket at %v wrongly partial (boundary %v)", pt.At, l.EvictedBefore())
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no bucket straddled the eviction boundary; test layout broken")
+	}
+}
