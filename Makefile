@@ -2,18 +2,30 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench results quick examples check clean
+.PHONY: all build vet lint test race fuzz-smoke bench results quick examples check clean
 
-all: build vet test
+all: build vet lint test
 
 # Everything CI runs.
-check: build vet test race
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Run the azlint analyzer suite (walltime, seededrand, maporder, errdrop,
+# simblock — see DESIGN.md §8) over every package via go vet's vettool
+# protocol. Fails on any diagnostic.
+lint:
+	$(GO) build -o bin/azlint ./cmd/azlint
+	$(GO) vet -vettool=$(CURDIR)/bin/azlint ./...
+
+# Short native-fuzz smoke runs (go test -fuzz takes one package at a time).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeEntity -fuzztime=10s ./internal/odata
+	$(GO) test -run='^$$' -fuzz=FuzzHistogramMerge -fuzztime=10s ./internal/metrics
 
 test:
 	$(GO) test ./...
@@ -43,3 +55,4 @@ examples:
 
 clean:
 	rm -f test_output.txt bench_output.txt
+	rm -rf bin

@@ -1,0 +1,28 @@
+// Command azlint is the repository's determinism-and-safety linter: a
+// multichecker for the five analyzers in internal/analysis (walltime,
+// seededrand, maporder, errdrop, simblock).
+//
+// It is normally run through the go command, which handles package
+// loading, caching and export data:
+//
+//	go build -o bin/azlint ./cmd/azlint
+//	go vet -vettool=bin/azlint ./...
+//
+// (`make lint` does exactly that.) It also runs standalone on package
+// patterns, loading via `go list`:
+//
+//	go run ./cmd/azlint ./...
+//
+// Deliberate violations are suppressed in source with a mandatory
+// justification: //azlint:allow <analyzer>(<reason>).
+package main
+
+import (
+	"os"
+
+	"azurebench/internal/analysis/driver"
+)
+
+func main() {
+	os.Exit(driver.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The escape hatch. A comment of the form
+//
+//	//azlint:allow <analyzer>(<reason>)
+//
+// suppresses diagnostics from <analyzer> on the directive's own line and
+// on the line immediately below it, so it works both as a trailing
+// comment and as a standalone line above the offending statement:
+//
+//	wall := time.Now() //azlint:allow walltime(harness wall-clock measurement)
+//
+//	//azlint:allow seededrand(live-mode default jitter source)
+//	jitter = rand.Float64
+//
+// The reason is mandatory — a suppression without a justification is
+// itself a diagnostic — and the analyzer name must be one of the
+// registered checks so typos cannot silently disable nothing.
+const allowPrefix = "//azlint:allow"
+
+// Anchored at the start only: trailing text after the closing paren is
+// tolerated so explanatory prose (or a fixture's `// want`) can follow.
+var allowRE = regexp.MustCompile(`^([a-z][a-z0-9]*)\(([^)]*)\)`)
+
+// allowSite records one parsed, well-formed directive.
+type allowSite struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// parseAllows scans the files' comments for azlint directives. It
+// returns the valid suppressions and a diagnostic (analyzer "azlint")
+// for every malformed one.
+func parseAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) ([]allowSite, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var allows []allowSite
+	var diags []Diagnostic
+	bad := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Analyzer: "azlint",
+			Message:  "malformed //azlint:allow directive: " + fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				m := allowRE.FindStringSubmatch(rest)
+				if m == nil {
+					bad(c.Pos(), "want //azlint:allow analyzer(reason), got %q", c.Text)
+					continue
+				}
+				name, reason := m[1], strings.TrimSpace(m[2])
+				if !known[name] {
+					bad(c.Pos(), "unknown analyzer %q", name)
+					continue
+				}
+				if reason == "" {
+					bad(c.Pos(), "empty reason for %q — justify the suppression", name)
+					continue
+				}
+				allows = append(allows, allowSite{
+					analyzer: name,
+					file:     fset.Position(c.Pos()).Filename,
+					line:     fset.Position(c.Pos()).Line,
+				})
+			}
+		}
+	}
+	return allows, diags
+}
+
+// filterAllowed drops diagnostics covered by a suppression.
+func filterAllowed(fset *token.FileSet, diags []Diagnostic, allows []allowSite) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	type key struct {
+		analyzer string
+		file     string
+		line     int
+	}
+	covered := make(map[key]bool, 2*len(allows))
+	for _, a := range allows {
+		covered[key{a.analyzer, a.file, a.line}] = true
+		covered[key{a.analyzer, a.file, a.line + 1}] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if covered[key{d.Analyzer, pos.Filename, pos.Line}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

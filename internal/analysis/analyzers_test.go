@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"azurebench/internal/analysis"
+	"azurebench/internal/analysis/atest"
+)
+
+func TestWalltime(t *testing.T) {
+	atest.Run(t, analysis.Walltime, "walltime/sim", "walltime/outofscope", "walltime/badallow")
+}
+
+func TestSeededrand(t *testing.T) {
+	atest.Run(t, analysis.Seededrand, "seededrand/cloud", "seededrand/outofscope")
+}
+
+func TestMaporder(t *testing.T) {
+	atest.Run(t, analysis.Maporder, "maporder/a")
+}
+
+func TestErrdrop(t *testing.T) {
+	atest.Run(t, analysis.Errdrop, "errdrop/app")
+}
+
+func TestSimblock(t *testing.T) {
+	atest.Run(t, analysis.Simblock, "simblock/app")
+}
+
+func TestScopes(t *testing.T) {
+	for path, want := range map[string]bool{
+		"azurebench/internal/sim":         true,
+		"azurebench/internal/cloud":       true,
+		"azurebench/internal/core":        true,
+		"azurebench/internal/blobstore":   true,
+		"azurebench/internal/storecommon": true,
+		"azurebench/internal/trace":       true,
+		"azurebench/internal/telemetry":   true,
+		"azurebench/internal/model":       true,
+		"azurebench/internal/faults":      true,
+		"azurebench/internal/retry":       false,
+		"azurebench/internal/sdk":         false,
+		"azurebench/internal/rest":        false,
+		"azurebench/internal/vclock":      false,
+		"azurebench/examples/livestore":   false,
+		"azurebench/cmd/azurebench":       false,
+	} {
+		if got := analysis.SimFacing(path); got != want {
+			t.Errorf("SimFacing(%q) = %v, want %v", path, got, want)
+		}
+	}
+	if !analysis.Deterministic("azurebench/internal/sdk") {
+		t.Error("sdk must be in the deterministic (seeded-rand) scope")
+	}
+	if analysis.Deterministic("azurebench/cmd/azureload") {
+		t.Error("cmd/azureload must not be in the deterministic scope")
+	}
+}

@@ -1,0 +1,263 @@
+// Package driver runs the azlint analyzer suite over type-checked
+// packages. It speaks two protocols with nothing but the standard
+// library:
+//
+//   - the `go vet -vettool` unit-checker protocol: invoked by the go
+//     command once per package with a JSON config file (*.cfg) naming
+//     the sources and the export data of every dependency;
+//   - a standalone mode taking package patterns (`azlint ./...`), which
+//     shells out to `go list -export -deps -json` for the same
+//     information.
+//
+// golang.org/x/tools is deliberately not used: the module has no
+// dependencies, and the toolchain's export-data importer
+// (go/importer with a lookup function) is sufficient.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/scanner"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"azurebench/internal/analysis"
+)
+
+// vetConfig mirrors the JSON written by the go command for vet tools
+// (cmd/go/internal/work.vetConfig). Fields we do not consult are listed
+// for documentation value.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the azlint entry point; it returns the process exit code
+// (0 clean, 1 diagnostics reported, 2 operational failure).
+func Main(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			// The go command queries a vet tool's flags before use; the
+			// suite has none.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Fprintln(stdout, "azlint version 1")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVetCfg(args[0], stderr)
+		}
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: azlint <packages>   (or invoked by go vet -vettool)")
+		return 2
+	}
+	return runStandalone(args, stderr)
+}
+
+// --- go vet unit-checker mode ---
+
+func runVetCfg(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "azlint: reading config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "azlint: parsing config %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command expects a facts ("vetx") output file regardless;
+	// the suite is factless, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "azlint: writing vetx output: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, info, err := typecheck(fset, cfg.ImportPath, files, importer.ForCompiler(fset, "gc", lookup))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	diags := analysis.Run(&analysis.Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analysis.All())
+	printDiags(stderr, fset, diags)
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// --- standalone mode (azlint ./...) ---
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+func runStandalone(patterns []string, stderr io.Writer) int {
+	listArgs := append([]string{
+		"list", "-export", "-deps",
+		"-json=Dir,ImportPath,Export,GoFiles,DepOnly,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", listArgs...)
+	cmd.Stderr = stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(stderr, "azlint: go list: %v\n", err)
+		return 2
+	}
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(stderr, "azlint: decoding go list output: %v\n", err)
+			return 2
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	// One importer across packages: shared dependencies load once.
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	exit := 0
+	for _, p := range targets {
+		var paths []string
+		for _, f := range p.GoFiles {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(p.Dir, f)
+			}
+			paths = append(paths, f)
+		}
+		files, err := parseFiles(fset, paths)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		pkg, info, err := typecheck(fset, p.ImportPath, files, imp)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		diags := analysis.Run(&analysis.Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analysis.All())
+		printDiags(stderr, fset, diags)
+		if len(diags) > 0 {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// --- shared plumbing ---
+
+func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			if list, ok := err.(scanner.ErrorList); ok && len(list) > 0 {
+				return nil, fmt.Errorf("%v", list[0])
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func typecheck(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	info := analysis.NewInfo()
+	pkg, _ := conf.Check(importPath, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("azlint: typechecking %s: %v", importPath, firstErr)
+	}
+	return pkg, info, nil
+}
+
+func printDiags(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s [azlint:%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}

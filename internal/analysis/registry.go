@@ -1,0 +1,12 @@
+package analysis
+
+// All returns the azlint analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Walltime,
+		Seededrand,
+		Maporder,
+		Errdrop,
+		Simblock,
+	}
+}

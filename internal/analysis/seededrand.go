@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seededRandOK are the math/rand package-level functions that construct
+// an explicitly seeded generator rather than drawing from the shared
+// process-global source. Everything else at package level (Intn,
+// Float64, Perm, Shuffle, Seed, ...) consumes global state whose
+// sequence depends on every other consumer in the process — the exact
+// property that breaks seed-reproducible retry schedules and workloads.
+var seededRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes an explicit *Rand
+}
+
+// Seededrand forbids the process-global math/rand source in
+// deterministic packages. Simulation code uses the splitmix64 generator
+// in internal/sim (seeded per Env); live-mode code threads an injectable
+// func() float64 and keeps the global default behind an
+// //azlint:allow seededrand(reason) annotation.
+var Seededrand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions and unseeded sources in deterministic packages; " +
+		"use the seeded internal/sim generator or an injectable source",
+	Run: runSeededrand,
+}
+
+func runSeededrand(pass *Pass) {
+	if !Deterministic(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			p := pkgPathOf(obj)
+			if p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || recvNamed(fn) != nil || seededRandOK[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from the process-global math/rand source in deterministic package %s; "+
+					"use the seeded sim.Rand / an injectable source or annotate "+
+					"//azlint:allow seededrand(reason)",
+				fn.Name(), base(pass.Pkg.Path()))
+			return true
+		})
+	}
+}

@@ -1,0 +1,36 @@
+// Fixture: discarding errors from the tracked API packages is flagged
+// wherever the caller lives.
+package app
+
+import "errdrop/cloud"
+
+func bad(c *cloud.Client) {
+	c.Put("k")        // want `error returned by Client\.Put is discarded`
+	_, _ = c.Get("k") // want `error returned by Client\.Get is assigned to _`
+	_ = cloud.Do()    // want `error returned by cloud\.Do is assigned to _`
+}
+
+func badDefer(c *cloud.Client) {
+	defer c.Close() // want `error returned by Client\.Close is discarded`
+}
+
+func good(c *cloud.Client) error {
+	if err := c.Put("k"); err != nil {
+		return err
+	}
+	v, err := c.Get("k")
+	_ = v
+	return err
+}
+
+// Calls without an error result are never flagged.
+func goodNoError(c *cloud.Client) int {
+	c.Stats()
+	return cloud.Count()
+}
+
+// The escape hatch.
+func allowed(c *cloud.Client) {
+	//azlint:allow errdrop(fixture: best-effort cleanup)
+	c.Put("k")
+}

@@ -1,0 +1,12 @@
+// Fixture stub standing in for internal/cloud: an API whose errors
+// carry throttles and injected faults.
+package cloud
+
+type Client struct{}
+
+func (c *Client) Put(key string) error           { return nil }
+func (c *Client) Get(key string) (string, error) { return "", nil }
+func (c *Client) Close() error                   { return nil }
+func (c *Client) Stats() int                     { return 0 }
+func Do() error                                  { return nil }
+func Count() int                                 { return 0 }

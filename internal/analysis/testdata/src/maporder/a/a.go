@@ -1,0 +1,103 @@
+// Fixture for maporder: map iteration order must never reach output.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Writing while ranging a map emits records in map order.
+func badEmit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `output written while iterating a map`
+	}
+}
+
+// A strings.Builder is an output stream too.
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `output written while iterating a map`
+	}
+	return b.String()
+}
+
+// Appending without ever sorting bakes map order into the slice.
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `out accumulates elements in map-iteration order`
+	}
+	return out
+}
+
+// The canonical collect-keys-then-sort idiom must NOT be flagged.
+func goodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice on collected values also makes order canonical.
+func goodSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// sort.Sort through a named sortable type: the conversion is unwrapped.
+type byLen []string
+
+func (s byLen) Len() int           { return len(s) }
+func (s byLen) Less(i, j int) bool { return len(s[i]) < len(s[j]) }
+func (s byLen) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+func goodSortNamed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Sort(byLen(out))
+	return out
+}
+
+// Map-to-map copying carries no order.
+func goodCopy(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Order-insensitive accumulation is fine.
+func goodSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Ranging a slice is never flagged, whatever the body does.
+func goodSliceRange(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+// The escape hatch.
+func allowed(w io.Writer, m map[string]int) {
+	for k := range m {
+		//azlint:allow maporder(fixture: order deliberately irrelevant here)
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,7 @@
+// Fixture: no deterministic path segment — global rand is tolerated
+// (e.g. one-off tooling).
+package outofscope
+
+import "math/rand"
+
+func ok() int { return rand.Intn(10) }

@@ -1,0 +1,78 @@
+// Fixture: parking a simulated process while holding a sync lock
+// deadlocks the single-threaded discrete-event scheduler.
+package app
+
+import (
+	"sync"
+
+	"simblock/sim"
+)
+
+type server struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	res *sim.Resource
+	sig *sim.Signal
+}
+
+func (s *server) badDeferUnlock(p *sim.Proc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.res.Acquire(p) // want `lock mu is held across blocking simulation call Resource\.Acquire`
+}
+
+func (s *server) badSleep(p *sim.Proc) {
+	s.mu.Lock()
+	p.Sleep(5) // want `lock mu is held across blocking simulation call Proc\.Sleep`
+	s.mu.Unlock()
+}
+
+func (s *server) badRLock(p *sim.Proc) {
+	s.rw.RLock()
+	s.sig.Wait(p) // want `lock rw is held across blocking simulation call Signal\.Wait`
+	s.rw.RUnlock()
+}
+
+func (s *server) goodReleased(p *sim.Proc) {
+	s.mu.Lock()
+	n := s.res.InUse()
+	s.mu.Unlock()
+	if n == 0 {
+		s.res.Acquire(p)
+	}
+}
+
+// Non-blocking accessors under the lock are fine.
+func (s *server) goodAccessor() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res.InUse()
+}
+
+// A closure body runs when the scheduler decides, not at the lock site:
+// it is a separate region and must not be flagged against the outer lock.
+func (s *server) goodClosure(p *sim.Proc, spawn func(fn func(q *sim.Proc))) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spawn(func(q *sim.Proc) {
+		q.Sleep(1)
+	})
+}
+
+// Inside a closure the analysis starts fresh — and still catches locks
+// taken within it.
+func (s *server) badInClosure(spawn func(fn func(q *sim.Proc))) {
+	spawn(func(q *sim.Proc) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		q.Yield() // want `lock mu is held across blocking simulation call Proc\.Yield`
+	})
+}
+
+// The escape hatch.
+func (s *server) allowed(p *sim.Proc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//azlint:allow simblock(fixture: scheduler guaranteed idle here)
+	s.res.Acquire(p)
+}

@@ -1,0 +1,18 @@
+// Fixture stub standing in for internal/sim: blocking calls park the
+// calling process until the scheduler resumes it.
+package sim
+
+type Proc struct{}
+
+func (p *Proc) Sleep(d int) {}
+func (p *Proc) Yield()      {}
+
+type Resource struct{}
+
+func (r *Resource) Acquire(p *Proc) {}
+func (r *Resource) Release()        {}
+func (r *Resource) InUse() int      { return 0 }
+
+type Signal struct{}
+
+func (s *Signal) Wait(p *Proc) {}

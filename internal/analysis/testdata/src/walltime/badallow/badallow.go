@@ -1,0 +1,14 @@
+// Fixture: malformed //azlint:allow directives are diagnostics in their
+// own right, wherever they appear — and they suppress nothing.
+package badallow
+
+func bad() {
+	//azlint:allow walltime() // want `empty reason`
+	_ = 1
+
+	//azlint:allow nosuchcheck(some reason) // want `unknown analyzer "nosuchcheck"`
+	_ = 2
+
+	//azlint:allow walltime missing parens // want `want //azlint:allow analyzer\(reason\)`
+	_ = 3
+}

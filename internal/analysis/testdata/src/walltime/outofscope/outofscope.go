@@ -1,0 +1,10 @@
+// Fixture: no simulation-facing path segment — wall-clock use is fine
+// here (live harnesses, tooling).
+package outofscope
+
+import "time"
+
+func ok() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

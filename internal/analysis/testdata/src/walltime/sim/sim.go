@@ -1,0 +1,46 @@
+// Fixture: the "sim" path segment makes this package simulation-facing,
+// so every wall-clock reader must be flagged.
+package sim
+
+import "time"
+
+// Package-level function values are as dangerous as calls.
+var clock = time.Now // want `time\.Now reads the wall clock`
+
+func bad() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func badSleep(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep reads the wall clock`
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+}
+
+func badAfter() <-chan time.Time {
+	return time.After(time.Millisecond) // want `time\.After reads the wall clock`
+}
+
+// Methods of time.Time sharing names with the forbidden functions are
+// pure value operations and must not be flagged.
+func okMethods(a, b time.Time) bool {
+	return a.After(b) || a.Before(b)
+}
+
+// Deriving durations and constants from the time package is fine.
+func okConst() time.Duration {
+	return 3 * time.Second
+}
+
+// The escape hatch: an annotated use is deliberate and suppressed, both
+// trailing and on the preceding line.
+func allowedTrailing() time.Time {
+	return time.Now() //azlint:allow walltime(fixture: deliberate harness measurement)
+}
+
+func allowedPreceding() time.Time {
+	//azlint:allow walltime(fixture: deliberate harness measurement)
+	return time.Now()
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallTimeFuncs are the package-level functions of "time" that read or
+// depend on the wall clock. Referencing any of them (called or passed as
+// a value) inside a simulation-facing package makes the run depend on
+// real time, so two identical seeds can diverge.
+var wallTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Walltime forbids wall-clock time in simulation-facing packages.
+// Time must be derived from the virtual clock: env.Now()/proc.Sleep in
+// the simulator, vclock.Clock everywhere the engines need timestamps.
+// The intentional harness measurements (reporting how long a simulation
+// took in real time) carry //azlint:allow walltime(reason) annotations.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/Since/Sleep/After/... in simulation-facing packages; " +
+		"derive time from vclock.Clock or env.Now() so runs are a pure function of the seed",
+	Run: runWalltime,
+}
+
+func runWalltime(pass *Pass) {
+	if !SimFacing(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || pkgPathOf(obj) != "time" || !wallTimeFuncs[obj.Name()] {
+				return true
+			}
+			// Methods like (time.Time).After share names with the wall
+			// clock readers; only package-level functions touch it.
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock in simulation-facing package %s; "+
+					"use the virtual clock (env.Now, proc.Sleep, vclock.Clock) or annotate "+
+					"//azlint:allow walltime(reason)",
+				obj.Name(), base(pass.Pkg.Path()))
+			return true
+		})
+	}
+}

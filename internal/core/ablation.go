@@ -15,7 +15,7 @@ import (
 // next to the fluid-flow prediction for the same topology (per-VM NIC
 // links, a pool of read replicas, the account bandwidth cap).
 func (s *Suite) RunNetModel() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	fig := metrics.Figure{
 		Title:  "Ablation: DES-measured vs max-min fair-share predicted download throughput",
 		XLabel: "workers",
@@ -44,7 +44,7 @@ func (s *Suite) RunNetModel() *Report {
 			"the fluid model ignores per-request overheads, so the DES sits slightly below it; both saturate at readReplicas × 60 MB/s",
 			"the crossover from NIC-bound to replica-bound falls at pool/NIC ≈ 14 workers for Small VMs",
 		},
-		Wall: time.Since(wall),
+		Wall: wall(),
 	}
 }
 
@@ -54,7 +54,7 @@ func (s *Suite) RunNetModel() *Report {
 // (download scaling), table partition-server count (the "flat till 4"
 // knee), and the 16 KB Get quirk.
 func (s *Suite) RunAblation() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	cfg := s.cfg
 	w := 16
 	for _, x := range cfg.Workers {
@@ -126,7 +126,7 @@ func (s *Suite) RunAblation() *Report {
 			"doubling table partition servers pushes the contention knee out proportionally",
 			fmt.Sprintf("run at %d workers; storage volumes as configured (%d MB blobs)", w, cfg.BlobMB),
 		},
-		Wall: time.Since(wall),
+		Wall: wall(),
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 // as a function of worker count. The paper excludes this synchronization
 // cost from its figures; this experiment makes it visible.
 func (s *Suite) RunBarrier() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	fig := metrics.Figure{
 		Title:  "Algorithm 2: queue-message barrier crossing time",
 		XLabel: "workers",
@@ -62,6 +62,6 @@ func (s *Suite) RunBarrier() *Report {
 			"each worker puts one message per phase and polls the approximate count once per second",
 			"phase messages are never deleted; each worker accounts for residue via its synccount, exactly as Algorithm 2 prescribes",
 		},
-		Wall: time.Since(wall),
+		Wall: wall(),
 	}
 }

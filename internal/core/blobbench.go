@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"azurebench/internal/blobstore"
 	"azurebench/internal/metrics"
@@ -191,7 +190,7 @@ func (s *Suite) runBlobPoint(w int) map[string]phaseStats {
 // RunFig4 reproduces Figure 4: whole-blob upload/download time and
 // aggregate throughput versus worker count, for block and page blobs.
 func (s *Suite) RunFig4() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	blobBytes := int64(s.cfg.BlobMB) << 20
 	timeFig := metrics.Figure{
 		Title:  "Figure 4(b): Blob storage time",
@@ -223,14 +222,14 @@ func (s *Suite) RunFig4() *Report {
 			fmt.Sprintf("total uploaded: %d MB per blob type, shared; downloads: %d MB per worker per blob type", s.cfg.BlobMB, s.cfg.BlobMB),
 			"synchronization (Algorithm 2 barrier) time is excluded from phase timings, as in the paper",
 		},
-		Wall: time.Since(wall),
+		Wall: wall(),
 	}
 }
 
 // RunFig5 reproduces Figure 5: chunked downloads — random page-wise and
 // sequential block-wise — time and aggregate throughput versus workers.
 func (s *Suite) RunFig5() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	chunk := int64(s.cfg.ChunkMB) << 20
 	timeFig := metrics.Figure{
 		Title:  "Figure 5(b): Chunked blob download time",
@@ -259,13 +258,13 @@ func (s *Suite) RunFig5() *Report {
 			fmt.Sprintf("each worker issues %d chunked reads of %d MB", s.cfg.ChunkReads, s.cfg.ChunkMB),
 			"page reads hit random offsets (page-index lookup overhead); block reads are sequential",
 		},
-		Wall: time.Since(wall),
+		Wall: wall(),
 	}
 }
 
 // RunTableI renders the VM configuration catalogue (Table I).
 func (s *Suite) RunTableI() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	fig := metrics.Figure{
 		Title:  "Table I: VM configurations for web/worker role instances",
 		XLabel: "row",
@@ -284,6 +283,6 @@ func (s *Suite) RunTableI() *Report {
 		Title:   "VM configurations (Table I)",
 		Figures: []metrics.Figure{fig},
 		Notes:   notes,
-		Wall:    time.Since(wall),
+		Wall:    wall(),
 	}
 }

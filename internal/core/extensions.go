@@ -18,7 +18,7 @@ import (
 // (bounded only by the cache node's RAM-speed service). The figure shows
 // the aggregate read rate of both paths.
 func (s *Suite) RunCache() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	fig := metrics.Figure{
 		Title:  "Caching service: hot-object read throughput, Blob direct vs cache-aside",
 		XLabel: "workers",
@@ -94,7 +94,7 @@ func (s *Suite) RunCache() *Report {
 			fmt.Sprintf("one hot %d KB object, %d reads per worker; cache-aside pattern with per-cloud 4-node cache cluster", objSize/storecommon.KB, readsEach),
 			"the blob path saturates at the partition's service rate across read replicas; the cache path runs at RAM speed",
 		},
-		Wall: time.Since(wall),
+		Wall: wall(),
 	}
 }
 
@@ -103,7 +103,7 @@ func (s *Suite) RunCache() *Report {
 // long until the first and the last of w instances is ready, as the
 // fabric controller serialises placement and VMs boot with jitter.
 func (s *Suite) RunProvision() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	fig := metrics.Figure{
 		Title:  "Deployment provisioning time vs instance count",
 		XLabel: "instances",
@@ -143,6 +143,6 @@ func (s *Suite) RunProvision() *Report {
 				prm.VMBootBase, prm.VMBootJitter, prm.PlacementDelay),
 			"time-to-all-ready grows with the placement serialisation plus the maximum of the boot jitters",
 		},
-		Wall: time.Since(wall),
+		Wall: wall(),
 	}
 }

@@ -39,7 +39,7 @@ func faultRetryPolicy() retry.Policy {
 // drift check: an attached injector with an empty plan must reproduce the
 // fault-free run exactly.
 func (s *Suite) RunFaults() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	goodput := metrics.Figure{
 		Title:  "Goodput under injected faults (timeouts + 500s + resets + a 5 s outage)",
 		XLabel: "fault rate (%)",
@@ -173,6 +173,6 @@ func (s *Suite) RunFaults() *Report {
 			fmt.Sprintf("%d put/get/delete rounds over %d workers (one queue each), %d KB messages; exponential backoff with jitter, %d attempts max", totalRounds, w, s.cfg.SharedMsgSizeKB, faultRetryPolicy().MaxAttempts),
 			"faults are seeded and schedule-driven: the same -seed reproduces the identical fault schedule and counters",
 		),
-		Wall: time.Since(wall),
+		Wall: wall(),
 	}
 }

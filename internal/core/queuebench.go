@@ -113,7 +113,7 @@ func (s *Suite) runQueuePerWorkerPoint(w int, sizeKB int, label string) (map[str
 // RunFig6 reproduces Figure 6: Put/Peek/Get time versus workers with a
 // separate queue per worker, one series per message size.
 func (s *Suite) RunFig6() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	figs := map[string]*metrics.Figure{
 		phQueuePut:  {Title: "Figure 6(a): Put Message — separate queue per worker", XLabel: "workers", YLabel: "seconds (mean per worker, whole phase)"},
 		phQueuePeek: {Title: "Figure 6(b): Peek Message — separate queue per worker", XLabel: "workers", YLabel: "seconds (mean per worker, whole phase)"},
@@ -153,6 +153,6 @@ func (s *Suite) RunFig6() *Report {
 			*figs[phQueuePut], *figs[phQueuePeek], *figs[phQueueGet],
 		},
 		Notes: notes,
-		Wall:  time.Since(wall),
+		Wall:  wall(),
 	}
 }

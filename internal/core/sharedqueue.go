@@ -102,7 +102,7 @@ func (s *Suite) runSharedQueuePoint(w int, think time.Duration) map[string]phase
 // RunFig7 reproduces Figure 7: Put/Peek/Get cost versus workers on a
 // single shared queue, one series per think time (1–5 s).
 func (s *Suite) RunFig7() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	figs := map[string]*metrics.Figure{
 		phQueuePut:  {Title: "Figure 7(a): Put Message — single shared queue", XLabel: "workers", YLabel: "ms (mean per operation)"},
 		phQueuePeek: {Title: "Figure 7(b): Peek Message — single shared queue", XLabel: "workers", YLabel: "ms (mean per operation)"},
@@ -130,6 +130,6 @@ func (s *Suite) RunFig7() *Report {
 				s.cfg.SharedMsgSizeKB, s.cfg.SharedRounds),
 			"think-time sleeps carry the model's multiplicative jitter, so synchronized workers decohere as on real VMs",
 		},
-		Wall: time.Since(wall),
+		Wall: wall(),
 	}
 }

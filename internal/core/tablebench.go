@@ -126,7 +126,7 @@ func (s *Suite) runTablePoint(w int, sizeKB int) map[string]phaseStats {
 // RunFig8 reproduces Figure 8: per-phase time versus workers for Insert,
 // Query, Update and Delete, one series per entity size.
 func (s *Suite) RunFig8() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	figs := map[string]*metrics.Figure{
 		phTabInsert: {Title: "Figure 8(a): Table Insert", XLabel: "workers", YLabel: "seconds (mean per worker, whole phase)"},
 		phTabQuery:  {Title: "Figure 8(b): Table Query", XLabel: "workers", YLabel: "seconds (mean per worker, whole phase)"},
@@ -152,7 +152,7 @@ func (s *Suite) RunFig8() *Report {
 			fmt.Sprintf("%d entities per worker, one binary property, partition key = role id", s.cfg.TableEntities),
 			"updates are unconditional (ETag \"*\"), as in the paper",
 		},
-		Wall: time.Since(wall),
+		Wall: wall(),
 	}
 }
 
@@ -160,7 +160,7 @@ func (s *Suite) RunFig8() *Report {
 // the four table operations and the three queue operations, at 4 KB
 // payloads (queue ops from the per-worker-queue benchmark of Algorithm 3).
 func (s *Suite) RunFig9() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	fig := metrics.Figure{
 		Title:  "Figure 9: Per-operation time, Table (insert/query/update/delete) vs Queue (put/peek/get)",
 		XLabel: "workers",
@@ -189,6 +189,6 @@ func (s *Suite) RunFig9() *Report {
 			"4 KB payloads; queue ops use a dedicated queue per worker (Algorithm 3), table ops a dedicated partition per worker (Algorithm 5)",
 			"the paper's conclusion — Queue storage scales better than Table storage as workers increase — shows as flat queue curves vs rising table curves past 4 workers",
 		},
-		Wall: time.Since(wall),
+		Wall: wall(),
 	}
 }

@@ -16,7 +16,7 @@ import (
 // workers recover by sleeping one second and retrying (the paper's own
 // recovery, triggered when they inserted 1000 entities instead of 500).
 func (s *Suite) RunThrottle() *Report {
-	wall := time.Now()
+	wall := wallStopwatch()
 	tput := metrics.Figure{
 		Title:  "Throttling: achieved throughput on one queue vs workers",
 		XLabel: "workers",
@@ -101,6 +101,6 @@ func (s *Suite) RunThrottle() *Report {
 		Title:   "Scalability-target throttling on a single queue",
 		Figures: []metrics.Figure{tput, busyFig},
 		Notes:   notes,
-		Wall:    time.Since(wall),
+		Wall:    wall(),
 	}
 }

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// FuzzHistogramMerge checks the algebra live mode depends on: per-worker
+// histograms merged at the end must be indistinguishable from one
+// histogram that observed every sample, and Merge must commute. The
+// fuzzer controls the sample values and how they are split between the
+// two shards.
+func FuzzHistogramMerge(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 255, 255, 255, 255, 255, 255, 255, 255}, uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}, uint8(0xaa))
+
+	f.Fuzz(func(t *testing.T, data []byte, split uint8) {
+		var h1, h2, all Histogram
+		for i := 0; i+8 <= len(data); i += 8 {
+			// Signed on purpose: Observe clamps negatives to zero.
+			d := time.Duration(binary.LittleEndian.Uint64(data[i:]))
+			all.Observe(d)
+			if split&(1<<((i/8)%8)) == 0 {
+				h1.Observe(d)
+			} else {
+				h2.Observe(d)
+			}
+		}
+
+		m12, m21 := h1, h2
+		m12.Merge(&h2)
+		m21.Merge(&h1)
+		if m12 != m21 {
+			t.Fatalf("Merge is not commutative:\nh1+h2: %+v\nh2+h1: %+v", m12, m21)
+		}
+		if m12 != all {
+			t.Fatalf("merged shards differ from single histogram:\nmerged: %+v\nall:    %+v", m12, all)
+		}
+
+		if m12.Count() != h1.Count()+h2.Count() {
+			t.Fatalf("Count = %d, want %d", m12.Count(), h1.Count()+h2.Count())
+		}
+		if m12.Total() != h1.Total()+h2.Total() {
+			t.Fatalf("Total = %v, want %v", m12.Total(), h1.Total()+h2.Total())
+		}
+		if m12.Count() == 0 {
+			return
+		}
+		if m12.Min() > m12.Max() {
+			t.Fatalf("Min %v > Max %v", m12.Min(), m12.Max())
+		}
+		p50, p95, p99 := m12.Percentile(50), m12.Percentile(95), m12.Percentile(99)
+		if p50 > p95 || p95 > p99 {
+			t.Fatalf("percentiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+		}
+		for _, p := range []time.Duration{p50, p99} {
+			if p < m12.Min() || p > m12.Max() {
+				t.Fatalf("percentile %v outside observed range [%v, %v]", p, m12.Min(), m12.Max())
+			}
+		}
+	})
+}

@@ -63,6 +63,13 @@ type RetryPolicy struct {
 	// (storecommon.IsTransient), not just throttles. Transport-level
 	// failures surface as ConnectionReset errors and fall in this class.
 	RetryTransient bool
+
+	// Rand supplies the jitter randomness as uniform floats in [0, 1).
+	// Injecting a seeded source (e.g. sim.NewRand(seed).Float64) makes
+	// the whole retry schedule reproducible; nil falls back to the
+	// process-global math/rand source, which is fine for live traffic
+	// but not replayable.
+	Rand func() float64
 }
 
 // DefaultRetryPolicy matches the paper's behaviour: retry throttled
@@ -147,6 +154,11 @@ type response struct {
 // errors, which the resilient policies classify as retriable.
 func (c *Client) do(req request) (*response, error) {
 	pol := c.policy.policy()
+	jitter := c.policy.Rand
+	if jitter == nil {
+		//azlint:allow seededrand(live-mode default; inject RetryPolicy.Rand for reproducible schedules)
+		jitter = rand.Float64
+	}
 	start := time.Now()
 	retries := 0
 	for {
@@ -160,7 +172,7 @@ func (c *Client) do(req request) (*response, error) {
 		if !pol.ShouldRetry(retries, time.Since(start), err) {
 			return resp, err
 		}
-		d := pol.Delay(retries, rand.Float64)
+		d := pol.Delay(retries, jitter)
 		retries++
 		c.retryCount.Add(1)
 		c.backoffSlept.Add(int64(d))

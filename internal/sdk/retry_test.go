@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"azurebench/internal/sim"
 	"azurebench/internal/storecommon"
 )
 
@@ -109,5 +110,43 @@ func TestResilientRetryPolicyShape(t *testing.T) {
 	}
 	if DefaultRetryPolicy().policy().Classify(storecommon.Errf(storecommon.CodeOperationTimedOut, 500, "x")) {
 		t.Fatal("paper policy retries timeouts")
+	}
+}
+
+// TestJitterReproducibleWithInjectedRand pins down satellite behaviour of
+// RetryPolicy.Rand: with a seeded source injected, the whole backoff
+// schedule — and therefore the total slept time the client reports — is a
+// pure function of the seed, while the same policy under a different seed
+// diverges.
+func TestJitterReproducibleWithInjectedRand(t *testing.T) {
+	run := func(seed int64) (retries int64, slept time.Duration) {
+		hs, _ := flakyServer(t, 100, storecommon.CodeServerBusy, 503)
+		c := New(hs.URL, hs.Client(), RetryPolicy{
+			MaxRetries: 4,
+			Backoff:    time.Millisecond,
+			Multiplier: 2,
+			Jitter:     0.5,
+			Rand:       sim.NewRand(seed).Float64,
+		})
+		if _, err := c.Blob().Download("demo", "blob"); err == nil {
+			t.Fatal("download succeeded against an always-busy server")
+		}
+		return c.RetryStats()
+	}
+
+	r1, s1 := run(42)
+	r2, s2 := run(42)
+	if r1 != r2 || s1 != s2 {
+		t.Fatalf("same seed diverged: %d retries/%v vs %d retries/%v", r1, s1, r2, s2)
+	}
+	if s1 == 0 {
+		t.Fatal("no backoff slept; jitter path not exercised")
+	}
+	r3, s3 := run(43)
+	if r1 != r3 {
+		t.Fatalf("retry counts differ across seeds: %d vs %d", r1, r3)
+	}
+	if s1 == s3 {
+		t.Fatalf("different seeds produced identical jittered backoff (%v)", s1)
 	}
 }
