@@ -103,5 +103,33 @@ func BenchmarkProvision_Deployment(b *testing.B) { runExperiment(b, "provision")
 // cross-check.
 func BenchmarkNetModel_CrossCheck(b *testing.B) { runExperiment(b, "netmodel") }
 
+// BenchmarkHotspot regenerates the zipfian-hotspot experiment (dynamic
+// partition manager vs static placement) and reports the partition
+// master's structural activity per iteration alongside the wall cost.
+func BenchmarkHotspot(b *testing.B) {
+	cfg := benchConfig()
+	cfg.HotspotWorkers = 24
+	cfg.HotspotKeys = 48
+	cfg.HotspotHorizon = 8 * time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	var splits, merges, migrations float64
+	for i := 0; i < b.N; i++ {
+		s := core.NewSuite(cfg)
+		rep := s.RunHotspot()
+		if len(rep.Figures) == 0 {
+			b.Fatal("experiment produced no figures")
+		}
+		for _, rec := range s.PartitionStats() {
+			splits += float64(rec.Splits)
+			merges += float64(rec.Merges)
+			migrations += float64(rec.Migrations)
+		}
+	}
+	b.ReportMetric(splits/float64(b.N), "splits/op")
+	b.ReportMetric(merges/float64(b.N), "merges/op")
+	b.ReportMetric(migrations/float64(b.N), "migrations/op")
+}
+
 // BenchmarkAblation regenerates the model ablations.
 func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }

@@ -137,13 +137,14 @@ func nonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
 // simulation-facing if any path segment matches, or ends in "store"
 // (blobstore, queuestore, tablestore, cachestore, storecommon, ...).
 var simFacingSegments = map[string]bool{
-	"sim":       true,
-	"cloud":     true,
-	"model":     true,
-	"core":      true,
-	"faults":    true,
-	"telemetry": true,
-	"trace":     true,
+	"sim":          true,
+	"cloud":        true,
+	"model":        true,
+	"core":         true,
+	"faults":       true,
+	"partitionmgr": true,
+	"telemetry":    true,
+	"trace":        true,
 }
 
 // SimFacing reports whether the package at importPath is

@@ -8,7 +8,7 @@ import (
 )
 
 func TestWalltime(t *testing.T) {
-	atest.Run(t, analysis.Walltime, "walltime/sim", "walltime/outofscope", "walltime/badallow")
+	atest.Run(t, analysis.Walltime, "walltime/sim", "walltime/partitionmgr", "walltime/outofscope", "walltime/badallow")
 }
 
 func TestSeededrand(t *testing.T) {
@@ -29,21 +29,22 @@ func TestSimblock(t *testing.T) {
 
 func TestScopes(t *testing.T) {
 	for path, want := range map[string]bool{
-		"azurebench/internal/sim":         true,
-		"azurebench/internal/cloud":       true,
-		"azurebench/internal/core":        true,
-		"azurebench/internal/blobstore":   true,
-		"azurebench/internal/storecommon": true,
-		"azurebench/internal/trace":       true,
-		"azurebench/internal/telemetry":   true,
-		"azurebench/internal/model":       true,
-		"azurebench/internal/faults":      true,
-		"azurebench/internal/retry":       false,
-		"azurebench/internal/sdk":         false,
-		"azurebench/internal/rest":        false,
-		"azurebench/internal/vclock":      false,
-		"azurebench/examples/livestore":   false,
-		"azurebench/cmd/azurebench":       false,
+		"azurebench/internal/sim":          true,
+		"azurebench/internal/cloud":        true,
+		"azurebench/internal/core":         true,
+		"azurebench/internal/blobstore":    true,
+		"azurebench/internal/storecommon":  true,
+		"azurebench/internal/trace":        true,
+		"azurebench/internal/telemetry":    true,
+		"azurebench/internal/model":        true,
+		"azurebench/internal/faults":       true,
+		"azurebench/internal/partitionmgr": true,
+		"azurebench/internal/retry":        false,
+		"azurebench/internal/sdk":          false,
+		"azurebench/internal/rest":         false,
+		"azurebench/internal/vclock":       false,
+		"azurebench/examples/livestore":    false,
+		"azurebench/cmd/azurebench":        false,
 	} {
 		if got := analysis.SimFacing(path); got != want {
 			t.Errorf("SimFacing(%q) = %v, want %v", path, got, want)

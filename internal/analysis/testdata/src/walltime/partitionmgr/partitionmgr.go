@@ -1,0 +1,22 @@
+// Fixture: the "partitionmgr" path segment makes this package
+// simulation-facing — the partition master's control loop must tick on the
+// virtual clock only, so wall-clock readers are flagged.
+package partitionmgr
+
+import "time"
+
+// A control loop deciding splits off the wall clock would break the
+// deterministic split/merge/migrate timeline.
+func badTickDeadline() time.Time {
+	return time.Now().Add(time.Second) // want `time\.Now reads the wall clock`
+}
+
+// Virtual-time bookkeeping with plain durations is fine.
+func okBlackout(now, until time.Duration) bool {
+	return now < until
+}
+
+// The escape hatch still works inside the new scope.
+func allowedDiagnostics() time.Time {
+	return time.Now() //azlint:allow walltime(fixture: operator-facing log timestamp, never simulated state)
+}

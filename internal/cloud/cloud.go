@@ -22,6 +22,7 @@ import (
 	"azurebench/internal/cachestore"
 	"azurebench/internal/faults"
 	"azurebench/internal/model"
+	"azurebench/internal/partitionmgr"
 	"azurebench/internal/queuestore"
 	"azurebench/internal/retry"
 	"azurebench/internal/sim"
@@ -50,13 +51,12 @@ type Cloud struct {
 	accountTx *storecommon.RateLimiter
 	accountBW *storecommon.RateLimiter
 
-	blobSrv    map[string]*replicaSet
-	queueSrv   map[string]*sim.Resource
-	queueTB    map[string]*storecommon.RateLimiter
-	tableSrv   []*sim.Resource
-	tablePlace map[string]int
-	tableTB    map[string]*storecommon.RateLimiter
-	nextTable  int
+	blobSrv  map[string]*replicaSet
+	queueSrv map[string]*sim.Resource
+	queueTB  *storecommon.LimiterPool
+	tableSrv []*sim.Resource
+	tableTB  *storecommon.LimiterPool
+	pmgr     *partitionmgr.Master
 
 	cache    *cachestore.Cluster
 	cacheSrv []*sim.Resource
@@ -113,6 +113,14 @@ type replicaSet struct {
 // New builds a cloud on env with parameters prm.
 func New(env *sim.Env, prm model.Params) *Cloud {
 	clock := vclock.NewSim(env)
+	// The master's tie-break randomness comes from the environment's
+	// seeded stream — and only when the control loop is on, so a static
+	// cloud consumes exactly the randomness it did before partitionmgr
+	// existed.
+	var pmRand *sim.Rand
+	if prm.PartitionDynamic {
+		pmRand = env.Rand()
+	}
 	return &Cloud{
 		env:   env,
 		prm:   prm,
@@ -121,17 +129,28 @@ func New(env *sim.Env, prm model.Params) *Cloud {
 		// FIFO is not guaranteed by the real queue service (paper §IV-B);
 		// a small selection window reproduces the occasional reordering
 		// that motivates the paper's dedicated termination-indicator queue.
-		Queue:      queuestore.NewWithConfig(clock, queuestore.Config{NonFIFOWindow: 4, Seed: 7}),
-		Table:      tablestore.New(clock),
-		accountTx:  storecommon.NewRateLimiter(prm.AccountOpsPerSec, prm.AccountBurst),
-		accountBW:  storecommon.NewRateLimiter(prm.AccountBandwidthBps, prm.AccountBandwidthBurst),
-		blobSrv:    map[string]*replicaSet{},
-		queueSrv:   map[string]*sim.Resource{},
-		queueTB:    map[string]*storecommon.RateLimiter{},
-		tablePlace: map[string]int{},
-		tableTB:    map[string]*storecommon.RateLimiter{},
+		Queue:     queuestore.NewWithConfig(clock, queuestore.Config{NonFIFOWindow: 4, Seed: 7}),
+		Table:     tablestore.New(clock),
+		accountTx: storecommon.NewRateLimiter(prm.AccountOpsPerSec, prm.AccountBurst),
+		accountBW: storecommon.NewRateLimiter(prm.AccountBandwidthBps, prm.AccountBandwidthBurst),
+		blobSrv:   map[string]*replicaSet{},
+		queueSrv:  map[string]*sim.Resource{},
+		pmgr: partitionmgr.New(partitionmgr.Config{
+			Dynamic:           prm.PartitionDynamic,
+			Servers:           prm.TableServers,
+			MaxServers:        prm.MaxTableServers,
+			SplitOpsPerSec:    prm.PartitionSplitOpsPerSec,
+			MergeOpsPerSec:    prm.PartitionMergeOpsPerSec,
+			ControlInterval:   prm.PartitionControlInterval,
+			MigrationBlackout: prm.PartitionMigrationBlackout,
+		}, pmRand),
 	}
 }
+
+// PartitionMgr returns the table service's partition master. Its stats
+// and event timeline are how experiments report split/merge/migration
+// activity.
+func (c *Cloud) PartitionMgr() *partitionmgr.Master { return c.pmgr }
 
 // Env returns the simulation environment.
 func (c *Cloud) Env() *sim.Env { return c.env }
@@ -191,42 +210,71 @@ func (c *Cloud) queueServer(name string) *sim.Resource {
 }
 
 func (c *Cloud) queueLimiter(name string) *storecommon.RateLimiter {
-	tb, ok := c.queueTB[name]
-	if !ok {
-		tb = storecommon.NewRateLimiter(c.prm.QueueOpsPerSec, c.prm.QueueBurst)
-		c.queueTB[name] = tb
+	if c.queueTB == nil {
+		c.queueTB = storecommon.NewLimiterPool(c.prm.QueueOpsPerSec, c.prm.QueueBurst)
 	}
-	return tb
+	return c.queueTB.Get(c.env.Now(), name)
 }
 
-// tableServer maps a (table, partition key) to one of the TableServers
-// stations, round-robin on first sight so distinct partitions spread
-// evenly (no hash collisions at small worker counts).
+// ensureTableServers grows the station array to cover both the
+// configured initial count and every server the partition master has
+// provisioned — new stations appear in telemetry as partitions split.
+func (c *Cloud) ensureTableServers() {
+	want := c.prm.TableServers
+	if n := c.pmgr.Servers(); n > want {
+		want = n
+	}
+	for len(c.tableSrv) < want {
+		c.tableSrv = append(c.tableSrv,
+			sim.NewResource(c.env, fmt.Sprintf("table-srv-%d", len(c.tableSrv)), c.prm.ServerConcurrency))
+	}
+}
+
+// tableServer is the static-placement path: the partition master pins
+// each (table, partition key) to one of the TableServers stations,
+// round-robin on first sight so distinct partitions spread evenly (no
+// hash collisions at small worker counts).
 func (c *Cloud) tableServer(tableName, pk string) *sim.Resource {
-	if c.tableSrv == nil {
-		c.tableSrv = make([]*sim.Resource, c.prm.TableServers)
-		for i := range c.tableSrv {
-			c.tableSrv[i] = sim.NewResource(c.env, fmt.Sprintf("table-srv-%d", i), c.prm.ServerConcurrency)
-		}
-	}
-	key := tableName + "|" + pk
-	idx, ok := c.tablePlace[key]
-	if !ok {
-		idx = c.nextTable % len(c.tableSrv)
-		c.nextTable++
-		c.tablePlace[key] = idx
-	}
+	return c.tableServerAt(c.pmgr.Place(tableName, pk))
+}
+
+// tableServerAt returns the station for server index idx, creating
+// stations as needed.
+func (c *Cloud) tableServerAt(idx int) *sim.Resource {
+	c.ensureTableServers()
 	return c.tableSrv[idx]
 }
 
 func (c *Cloud) partitionLimiter(tableName, pk string) *storecommon.RateLimiter {
-	key := tableName + "|" + pk
-	tb, ok := c.tableTB[key]
-	if !ok {
-		tb = storecommon.NewRateLimiter(c.prm.PartitionOpsPerSec, c.prm.PartitionBurst)
-		c.tableTB[key] = tb
+	if c.tableTB == nil {
+		c.tableTB = storecommon.NewLimiterPool(c.prm.PartitionOpsPerSec, c.prm.PartitionBurst)
 	}
-	return tb
+	return c.tableTB.Get(c.env.Now(), tableName+"|"+pk)
+}
+
+// notePartitionEvents reacts to control-loop decisions the partition
+// master made while observing a request: it materialises any newly
+// provisioned table servers and records each split/merge/migration as a
+// zero-client trace op so reconfigurations appear on the same timeline as
+// the traffic that triggered them.
+func (c *Cloud) notePartitionEvents(evs []partitionmgr.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	c.ensureTableServers()
+	if c.traceLog == nil {
+		return
+	}
+	for _, ev := range evs {
+		c.traceLog.Record(trace.Op{
+			Start:    ev.At,
+			Duration: ev.Blackout,
+			Client:   "partition-master",
+			Service:  "table",
+			Name:     "Partition" + ev.Kind.String(),
+			Tag:      ev.Describe(),
+		})
+	}
 }
 
 // Stations enumerates the cloud's partition-server stations — queue
@@ -236,7 +284,7 @@ func (c *Cloud) partitionLimiter(tableName, pk string) *storecommon.RateLimiter 
 func (c *Cloud) Stations() []telemetry.Station {
 	var out []telemetry.Station
 	for name, srv := range c.queueSrv {
-		out = append(out, telemetry.Station{Name: srv.Name(), Res: srv, Limiter: c.queueTB[name]})
+		out = append(out, telemetry.Station{Name: srv.Name(), Res: srv, Limiter: c.queueTB.Peek(name)})
 	}
 	for _, srv := range c.tableSrv {
 		out = append(out, telemetry.Station{Name: srv.Name(), Res: srv})
@@ -265,13 +313,17 @@ type request struct {
 	up      int64  // request payload bytes
 	mut     bool   // mutation: injected faults must fire before the engine commits
 	server  *sim.Resource
-	queue   string // non-empty: charge the per-queue limiter
-	table   string // non-empty with part: charge the per-partition limiter
-	part    string
-	txCost  float64
-	lat     time.Duration
-	apply   func() (occ time.Duration, down int64, err error)
-	latOfSz func(down int64) time.Duration // optional size-dependent latency
+	// serverIdx is the table-server index the client routed to (from its
+	// cached partition map); -1 under static placement, where the route
+	// cannot go stale. The front door validates it against the master.
+	serverIdx int
+	queue     string // non-empty: charge the per-queue limiter
+	table     string // non-empty with part: charge the per-partition limiter
+	part      string
+	txCost    float64
+	lat       time.Duration
+	apply     func() (occ time.Duration, down int64, err error)
+	latOfSz   func(down int64) time.Duration // optional size-dependent latency
 	// repl is the synchronous-replication component of the operation's
 	// occupancy (zero for reads and unreplicated ops); tracing splits it
 	// out of the server span.
@@ -349,6 +401,17 @@ var (
 		"the partition server is temporarily unavailable")
 )
 
+// Partition-map protocol errors (dynamic placement only). Both are
+// retriable: a redirect resolves on the next attempt because tableRoute
+// refetches the invalidated map, and a handoff clears when the blackout
+// window ends.
+var (
+	errPartitionMoved = storecommon.Errf(storecommon.CodePartitionMoved, 410,
+		"the partition range has been reassigned; refresh the partition map and retry")
+	errPartitionHandoff = storecommon.Errf(storecommon.CodeServerBusy, 503,
+		"the partition range is mid-handoff to another server; back off and retry")
+)
+
 // do executes the request from process p, charging NIC transfer, network
 // round trip, throttles, server occupancy and pipeline latency. When a
 // fault injector is attached it seals the request's fate up front; faults
@@ -421,6 +484,32 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 		p.Sleep(prm.RTT / 2)
 		req.st.cut(trace.StageNicOut)
 		return errServerUnavailable
+	}
+
+	// Partition-map validation (dynamic placement): the addressed server
+	// checks that it still owns the key's range. The master observes the
+	// request first — this is where its control loop ticks, so splits are
+	// driven by the load they react to — then a stale route bounces with a
+	// redirect and a mid-handoff range answers ServerBusy.
+	if req.table != "" && c.pmgr.Dynamic() {
+		now := c.env.Now()
+		c.notePartitionEvents(c.pmgr.Record(now, req.table, req.part))
+		owner, unavailUntil := c.pmgr.Lookup(req.table, req.part)
+		if req.serverIdx != owner {
+			c.pmgr.NoteRedirect()
+			delete(cl.maps, req.table)
+			req.tracedErr = string(storecommon.CodePartitionMoved)
+			p.Sleep(prm.RTT / 2)
+			req.st.cut(trace.StageNicOut)
+			return errPartitionMoved
+		}
+		if now < unavailUntil {
+			c.pmgr.NoteHandoffReject()
+			req.tracedErr = string(storecommon.CodeServerBusy)
+			p.Sleep(prm.RTT / 2)
+			req.st.cut(trace.StageHandoff)
+			return errPartitionHandoff
+		}
 	}
 
 	// Admission control at the front door.
@@ -534,9 +623,45 @@ type Client struct {
 	vm     model.VMSize
 	nic    *sim.Resource
 	policy retry.Policy
+	// maps caches one partition-map snapshot per table under dynamic
+	// placement; entries expire after PartitionMapCacheTTL and are dropped
+	// eagerly when the front door answers PartitionMoved.
+	maps map[string]*clientMap
 	// pendingBackoff is retry backoff slept but not yet attributed to an
 	// operation's trace record (only maintained while tracing is attached).
 	pendingBackoff time.Duration
+}
+
+// clientMap is one cached partition-map snapshot with its fetch time.
+type clientMap struct {
+	snap      *partitionmgr.TableMap
+	fetchedAt time.Duration
+}
+
+// tableRoute resolves the table server for (table, pk) through the
+// client's view of the world. Static placement delegates to the master's
+// pinned assignment (index -1: the route can never go stale). Dynamic
+// placement consults the client's cached partition map, refetching from
+// the master when the entry is missing or older than the map-cache TTL;
+// the returned index travels with the request so the server can detect a
+// stale route.
+func (cl *Client) tableRoute(table, pk string) (*sim.Resource, int) {
+	c := cl.cloud
+	if !c.pmgr.Dynamic() {
+		return c.tableServer(table, pk), -1
+	}
+	now := c.env.Now()
+	ent := cl.maps[table]
+	if ent == nil || now-ent.fetchedAt > c.prm.PartitionMapCacheTTL {
+		if cl.maps == nil {
+			cl.maps = map[string]*clientMap{}
+		}
+		ent = &clientMap{snap: c.pmgr.Snapshot(table), fetchedAt: now}
+		cl.maps[table] = ent
+		c.ensureTableServers()
+	}
+	idx := ent.snap.Owner(pk)
+	return c.tableServerAt(idx), idx
 }
 
 // NewClient creates a client bound to a VM of the given size. Its default

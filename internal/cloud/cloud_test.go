@@ -8,6 +8,7 @@ import (
 	"azurebench/internal/blobstore"
 	"azurebench/internal/model"
 	"azurebench/internal/payload"
+	"azurebench/internal/retry"
 	"azurebench/internal/sim"
 	"azurebench/internal/storecommon"
 	"azurebench/internal/tablestore"
@@ -279,7 +280,7 @@ func TestTablePartitionPlacementRoundRobin(t *testing.T) {
 	env.Run()
 	// 8 partitions over 4 servers: every server hosts exactly 2.
 	counts := map[int]int{}
-	for key, idx := range c.tablePlace {
+	for key, idx := range c.pmgr.Placements() {
 		if key == "bench|" { // management partition
 			continue
 		}
@@ -289,6 +290,115 @@ func TestTablePartitionPlacementRoundRobin(t *testing.T) {
 		if n != 2 {
 			t.Fatalf("server %d hosts %d partitions, want 2 (placement %v)", srv, n, counts)
 		}
+	}
+}
+
+// TestDynamicPlacementSplitsAndRedirects drives a single hot partition
+// key range under dynamic placement and checks the full partition-map
+// protocol end to end: the master splits the hot range, clients with
+// stale cached maps get redirected (and recover via retry), and requests
+// that land inside a migration blackout bounce with ServerBusy.
+func TestDynamicPlacementSplitsAndRedirects(t *testing.T) {
+	env := sim.NewEnv(1)
+	prm := model.Default()
+	prm.PartitionDynamic = true
+	prm.TableServers = 2
+	prm.MaxTableServers = 4
+	prm.PartitionSplitOpsPerSec = 50
+	prm.PartitionControlInterval = 500 * time.Millisecond
+	prm.PartitionMigrationBlackout = 500 * time.Millisecond
+	prm.PartitionMapCacheTTL = 2 * time.Second
+	// Keep admission throttles out of the picture: this test is about
+	// routing, not rate limiting.
+	prm.PartitionOpsPerSec = 1e6
+	prm.PartitionBurst = 1e6
+	c := New(env, prm)
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		cl := c.NewClient(fmt.Sprintf("vm%d", w), model.Small)
+		cl.SetRetryPolicy(retry.Resilient())
+		env.Go(cl.Name(), func(p *sim.Proc) {
+			if w == 0 {
+				if _, err := cl.CreateTableIfNotExists(p, "bench"); err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < 16; i++ {
+					e := &tablestore.Entity{PartitionKey: fmt.Sprintf("pk%02d", i), RowKey: "r"}
+					if _, err := cl.InsertEntity(p, "bench", e); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			} else {
+				p.Sleep(time.Second)
+			}
+			// Three hot keys: the first split happens while only worker 0
+			// runs; the second lands after every worker has cached a map, so
+			// stale routes must be redirected — and since both servers carry
+			// load by then, the moved half forces a scale-out.
+			deadline := env.Now() + 10*time.Second
+			for env.Now() < deadline {
+				pk := fmt.Sprintf("pk%02d", w%3)
+				if _, err := cl.WithRetry(p, func() error {
+					_, err := cl.GetEntity(p, "bench", pk, "r")
+					return err
+				}); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		})
+	}
+	env.Run()
+	st := c.PartitionMgr().Stats()
+	if st.Splits < 2 {
+		t.Fatalf("hot partitions never split: %+v", st)
+	}
+	if st.Redirects == 0 {
+		t.Fatalf("no stale-map redirects despite %d splits: %+v", st.Splits, st)
+	}
+	if st.HandoffRejects == 0 {
+		t.Errorf("no requests bounced off a migration blackout: %+v", st)
+	}
+	if st.Servers <= 2 {
+		t.Errorf("no scale-out: still %d servers", st.Servers)
+	}
+	if len(c.Stations()) < st.Servers {
+		t.Errorf("telemetry stations (%d) missing provisioned servers (%d)", len(c.Stations()), st.Servers)
+	}
+}
+
+// TestQueueLimiterPoolBounded opens far more queues than fit a working
+// set and checks the per-queue limiter pool evicts idle entries instead
+// of growing with every queue name ever seen.
+func TestQueueLimiterPoolBounded(t *testing.T) {
+	env, c := newSim()
+	cl := c.NewClient("vm0", model.Small)
+	var maxLen int
+	env.Go("main", func(p *sim.Proc) {
+		for i := 0; i < 500; i++ {
+			name := fmt.Sprintf("q-%d", i)
+			if err := cl.CreateQueue(p, name); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := cl.PutMessage(p, name, payload.Synthetic(uint64(i), 512)); err != nil {
+				t.Error(err)
+				return
+			}
+			if n := c.queueTB.Len(); n > maxLen {
+				maxLen = n
+			}
+			p.Sleep(200 * time.Millisecond)
+		}
+	})
+	env.Run()
+	if maxLen >= 500 {
+		t.Fatalf("limiter pool grew unbounded: peak %d entries for 500 queues", maxLen)
+	}
+	if c.queueTB.Len() >= 500 {
+		t.Fatalf("limiter pool still holds %d entries after the run", c.queueTB.Len())
 	}
 }
 

@@ -11,12 +11,14 @@ import (
 // CreateTable creates a table. Table management is metadata work on the
 // first table server.
 func (cl *Client) CreateTable(p *sim.Proc, name string) error {
+	srv, idx := cl.tableRoute(name, "")
 	return cl.do(p, request{
-		op:      "CreateTable",
-		mut:     true,
-		service: "table",
-		up:      reqHeader,
-		server:  cl.cloud.tableServer(name, ""),
+		op:        "CreateTable",
+		mut:       true,
+		service:   "table",
+		up:        reqHeader,
+		server:    srv,
+		serverIdx: idx,
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Table.CreateTable(name)
 		},
@@ -26,12 +28,14 @@ func (cl *Client) CreateTable(p *sim.Proc, name string) error {
 // CreateTableIfNotExists creates the table when absent.
 func (cl *Client) CreateTableIfNotExists(p *sim.Proc, name string) (bool, error) {
 	created := false
+	srv, idx := cl.tableRoute(name, "")
 	err := cl.do(p, request{
-		op:      "CreateTableIfNotExists",
-		mut:     true,
-		service: "table",
-		up:      reqHeader,
-		server:  cl.cloud.tableServer(name, ""),
+		op:        "CreateTableIfNotExists",
+		mut:       true,
+		service:   "table",
+		up:        reqHeader,
+		server:    srv,
+		serverIdx: idx,
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			created, err = cl.cloud.Table.CreateTableIfNotExists(name)
@@ -43,12 +47,14 @@ func (cl *Client) CreateTableIfNotExists(p *sim.Proc, name string) (bool, error)
 
 // DeleteTable removes a table.
 func (cl *Client) DeleteTable(p *sim.Proc, name string) error {
+	srv, idx := cl.tableRoute(name, "")
 	return cl.do(p, request{
-		op:      "DeleteTable",
-		mut:     true,
-		service: "table",
-		up:      reqHeader,
-		server:  cl.cloud.tableServer(name, ""),
+		op:        "DeleteTable",
+		mut:       true,
+		service:   "table",
+		up:        reqHeader,
+		server:    srv,
+		serverIdx: idx,
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Table.DeleteTable(name)
 		},
@@ -59,16 +65,18 @@ func (cl *Client) DeleteTable(p *sim.Proc, name string) error {
 func (cl *Client) InsertEntity(p *sim.Proc, tableName string, e *tablestore.Entity) (*tablestore.Entity, error) {
 	var stored *tablestore.Entity
 	size := e.Size()
+	srv, idx := cl.tableRoute(tableName, e.PartitionKey)
 	err := cl.do(p, request{
-		op:      "InsertEntity",
-		mut:     true,
-		service: "table",
-		up:      size + reqHeader,
-		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
-		table:   tableName,
-		part:    e.PartitionKey,
-		repl:    cl.cloud.prm.ReplCost(),
-		lat:     cl.cloud.prm.TableLat(model.TInsert),
+		op:        "InsertEntity",
+		mut:       true,
+		service:   "table",
+		up:        size + reqHeader,
+		server:    srv,
+		serverIdx: idx,
+		table:     tableName,
+		part:      e.PartitionKey,
+		repl:      cl.cloud.prm.ReplCost(),
+		lat:       cl.cloud.prm.TableLat(model.TInsert),
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			stored, err = cl.cloud.Table.Insert(tableName, e)
@@ -82,14 +90,16 @@ func (cl *Client) InsertEntity(p *sim.Proc, tableName string, e *tablestore.Enti
 // Algorithm 5: a point query on PartitionKey+RowKey).
 func (cl *Client) GetEntity(p *sim.Proc, tableName, pk, rk string) (*tablestore.Entity, error) {
 	var e *tablestore.Entity
+	srv, idx := cl.tableRoute(tableName, pk)
 	err := cl.do(p, request{
-		op:      "GetEntity",
-		service: "table",
-		up:      reqHeader,
-		server:  cl.cloud.tableServer(tableName, pk),
-		table:   tableName,
-		part:    pk,
-		lat:     cl.cloud.prm.TableLat(model.TQuery),
+		op:        "GetEntity",
+		service:   "table",
+		up:        reqHeader,
+		server:    srv,
+		serverIdx: idx,
+		table:     tableName,
+		part:      pk,
+		lat:       cl.cloud.prm.TableLat(model.TQuery),
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			e, err = cl.cloud.Table.Get(tableName, pk, rk)
@@ -108,16 +118,18 @@ func (cl *Client) GetEntity(p *sim.Proc, tableName, pk, rk string) (*tablestore.
 func (cl *Client) UpdateEntity(p *sim.Proc, tableName string, e *tablestore.Entity, ifMatch string) (*tablestore.Entity, error) {
 	var stored *tablestore.Entity
 	size := e.Size()
+	srv, idx := cl.tableRoute(tableName, e.PartitionKey)
 	err := cl.do(p, request{
-		op:      "UpdateEntity",
-		mut:     true,
-		service: "table",
-		up:      size + reqHeader,
-		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
-		table:   tableName,
-		part:    e.PartitionKey,
-		repl:    cl.cloud.prm.ReplCost(),
-		lat:     cl.cloud.prm.TableLat(model.TUpdate),
+		op:        "UpdateEntity",
+		mut:       true,
+		service:   "table",
+		up:        size + reqHeader,
+		server:    srv,
+		serverIdx: idx,
+		table:     tableName,
+		part:      e.PartitionKey,
+		repl:      cl.cloud.prm.ReplCost(),
+		lat:       cl.cloud.prm.TableLat(model.TUpdate),
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			stored, err = cl.cloud.Table.Replace(tableName, e, ifMatch)
@@ -131,16 +143,18 @@ func (cl *Client) UpdateEntity(p *sim.Proc, tableName string, e *tablestore.Enti
 func (cl *Client) MergeEntity(p *sim.Proc, tableName string, e *tablestore.Entity, ifMatch string) (*tablestore.Entity, error) {
 	var stored *tablestore.Entity
 	size := e.Size()
+	srv, idx := cl.tableRoute(tableName, e.PartitionKey)
 	err := cl.do(p, request{
-		op:      "MergeEntity",
-		mut:     true,
-		service: "table",
-		up:      size + reqHeader,
-		server:  cl.cloud.tableServer(tableName, e.PartitionKey),
-		table:   tableName,
-		part:    e.PartitionKey,
-		repl:    cl.cloud.prm.ReplCost(),
-		lat:     cl.cloud.prm.TableLat(model.TUpdate),
+		op:        "MergeEntity",
+		mut:       true,
+		service:   "table",
+		up:        size + reqHeader,
+		server:    srv,
+		serverIdx: idx,
+		table:     tableName,
+		part:      e.PartitionKey,
+		repl:      cl.cloud.prm.ReplCost(),
+		lat:       cl.cloud.prm.TableLat(model.TUpdate),
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			stored, err = cl.cloud.Table.Merge(tableName, e, ifMatch)
@@ -152,16 +166,18 @@ func (cl *Client) MergeEntity(p *sim.Proc, tableName string, e *tablestore.Entit
 
 // DeleteEntity deletes a row under an ETag condition.
 func (cl *Client) DeleteEntity(p *sim.Proc, tableName, pk, rk, ifMatch string) error {
+	srv, idx := cl.tableRoute(tableName, pk)
 	return cl.do(p, request{
-		op:      "DeleteEntity",
-		mut:     true,
-		service: "table",
-		up:      reqHeader,
-		server:  cl.cloud.tableServer(tableName, pk),
-		table:   tableName,
-		part:    pk,
-		repl:    cl.cloud.prm.ReplCost(),
-		lat:     cl.cloud.prm.TableLat(model.TDelete),
+		op:        "DeleteEntity",
+		mut:       true,
+		service:   "table",
+		up:        reqHeader,
+		server:    srv,
+		serverIdx: idx,
+		table:     tableName,
+		part:      pk,
+		repl:      cl.cloud.prm.ReplCost(),
+		lat:       cl.cloud.prm.TableLat(model.TDelete),
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.TableOcc(model.TDelete, 0), 0,
 				cl.cloud.Table.Delete(tableName, pk, rk, ifMatch)
@@ -174,14 +190,16 @@ func (cl *Client) DeleteEntity(p *sim.Proc, tableName, pk, rk, ifMatch string) e
 // cross-partition scan, which is charged to the table's first server.
 func (cl *Client) QueryEntities(p *sim.Proc, tableName, pk, filter string, top int, from tablestore.Continuation) (tablestore.QueryResult, error) {
 	var res tablestore.QueryResult
+	srv, idx := cl.tableRoute(tableName, pk)
 	err := cl.do(p, request{
-		op:      "QueryEntities",
-		service: "table",
-		up:      reqHeader + int64(len(filter)),
-		server:  cl.cloud.tableServer(tableName, pk),
-		table:   tableName,
-		part:    pk,
-		lat:     cl.cloud.prm.TableLat(model.TQuery),
+		op:        "QueryEntities",
+		service:   "table",
+		up:        reqHeader + int64(len(filter)),
+		server:    srv,
+		serverIdx: idx,
+		table:     tableName,
+		part:      pk,
+		lat:       cl.cloud.prm.TableLat(model.TQuery),
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			res, err = cl.cloud.Table.Query(tableName, filter, top, from)
@@ -216,17 +234,19 @@ func (cl *Client) ExecuteBatch(p *sim.Proc, tableName string, ops []tablestore.B
 		}
 	}
 	failed := -1
+	srv, idx := cl.tableRoute(tableName, pk)
 	err := cl.do(p, request{
-		op:      "ExecuteBatch",
-		mut:     true,
-		service: "table",
-		up:      up,
-		server:  cl.cloud.tableServer(tableName, pk),
-		table:   tableName,
-		part:    pk,
-		repl:    time.Duration(len(ops)) * cl.cloud.prm.ReplCost(),
-		txCost:  float64(len(ops)),
-		lat:     cl.cloud.prm.TableLat(model.TInsert),
+		op:        "ExecuteBatch",
+		mut:       true,
+		service:   "table",
+		up:        up,
+		server:    srv,
+		serverIdx: idx,
+		table:     tableName,
+		part:      pk,
+		repl:      time.Duration(len(ops)) * cl.cloud.prm.ReplCost(),
+		txCost:    float64(len(ops)),
+		lat:       cl.cloud.prm.TableLat(model.TInsert),
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			failed, err = cl.cloud.Table.ExecuteBatch(tableName, ops)

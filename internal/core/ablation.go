@@ -142,5 +142,6 @@ func (s *Suite) withParams(mutate func(*paramsAlias)) *Suite {
 	sub := NewSuite(cfg)
 	sub.traceLog = s.traceLog
 	sub.samplers = s.samplers
+	sub.partitions = s.partitions
 	return sub
 }

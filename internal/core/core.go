@@ -7,6 +7,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"azurebench/internal/cloud"
 	"azurebench/internal/metrics"
 	"azurebench/internal/model"
+	"azurebench/internal/partitionmgr"
 	"azurebench/internal/sim"
 	"azurebench/internal/storecommon"
 	"azurebench/internal/telemetry"
@@ -56,6 +58,13 @@ type Config struct {
 	FaultWorkers int       // worker roles in the fault experiment
 	FaultRounds  int       // total put/get/delete rounds across workers
 
+	// Hotspot benchmark (dynamic partition manager vs static placement
+	// under a zipfian key distribution).
+	HotspotWorkers int           // closed-loop reader roles
+	HotspotKeys    int           // distinct partition keys in the table
+	HotspotHorizon time.Duration // measured window per placement mode
+	HotspotTheta   float64       // zipfian skew (0 = YCSB's 0.99)
+
 	// TraceOps attaches an operation log (Suite.TraceLog) to every cloud
 	// the experiments build.
 	TraceOps bool
@@ -93,6 +102,11 @@ func DefaultConfig() Config {
 		FaultRates:    []float64{0, 0.01, 0.02, 0.05},
 		FaultWorkers:  8,
 		FaultRounds:   2000,
+
+		HotspotWorkers: 48,
+		HotspotKeys:    128,
+		HotspotHorizon: 60 * time.Second,
+		HotspotTheta:   0.99,
 	}
 }
 
@@ -112,6 +126,9 @@ func QuickConfig() Config {
 	cfg.FaultRates = []float64{0, 0.02, 0.05}
 	cfg.FaultWorkers = 4
 	cfg.FaultRounds = 400
+	cfg.HotspotWorkers = 48
+	cfg.HotspotKeys = 96
+	cfg.HotspotHorizon = 16 * time.Second
 	return cfg
 }
 
@@ -147,9 +164,10 @@ type Experiment struct {
 
 // Suite binds a configuration to the experiment registry.
 type Suite struct {
-	cfg      Config
-	traceLog *trace.Log
-	samplers *samplerBag
+	cfg        Config
+	traceLog   *trace.Log
+	samplers   *samplerBag
+	partitions *partitionBag
 }
 
 // samplerBag accumulates every sampler the suite's experiments attach; it
@@ -157,6 +175,31 @@ type Suite struct {
 // telemetry is not lost.
 type samplerBag struct {
 	list []*telemetry.Sampler
+}
+
+// PartitionRecord is one cloud's partition-master activity summary,
+// captured by experiments that exercise dynamic placement and exported
+// with the telemetry stream (-statsfile).
+type PartitionRecord struct {
+	Kind           string `json:"kind"` // always "partition"
+	Label          string `json:"label"`
+	Splits         uint64 `json:"splits"`
+	Merges         uint64 `json:"merges"`
+	Migrations     uint64 `json:"migrations"`
+	Redirects      uint64 `json:"redirects"`
+	HandoffRejects uint64 `json:"handoff_rejects"`
+	MapRefreshes   uint64 `json:"map_refreshes"`
+	Servers        int    `json:"servers"`
+
+	// Events is the structural timeline behind the counters; it feeds
+	// assertions and trace cross-checks but not the JSONL export.
+	Events []partitionmgr.Event `json:"-"`
+}
+
+// partitionBag accumulates partition records across parameter-mutated
+// sub-suites, mirroring samplerBag.
+type partitionBag struct {
+	list []PartitionRecord
 }
 
 // NewSuite returns a suite over cfg.
@@ -170,7 +213,7 @@ func NewSuite(cfg Config) *Suite {
 	if cfg.Params.RTT == 0 {
 		cfg.Params = model.Default()
 	}
-	s := &Suite{cfg: cfg, samplers: &samplerBag{}}
+	s := &Suite{cfg: cfg, samplers: &samplerBag{}, partitions: &partitionBag{}}
 	if cfg.TraceOps {
 		s.traceLog = trace.New(1 << 20)
 	}
@@ -186,11 +229,43 @@ func (s *Suite) Samplers() []*telemetry.Sampler {
 	return append([]*telemetry.Sampler(nil), s.samplers.list...)
 }
 
+// PartitionStats returns the partition-master records experiments
+// collected, in collection order.
+func (s *Suite) PartitionStats() []PartitionRecord {
+	return append([]PartitionRecord(nil), s.partitions.list...)
+}
+
+// recordPartitions captures one cloud's partition-master outcome.
+func (s *Suite) recordPartitions(label string, c *cloud.Cloud) PartitionRecord {
+	st := c.PartitionMgr().Stats()
+	rec := PartitionRecord{
+		Kind:           "partition",
+		Label:          label,
+		Splits:         st.Splits,
+		Merges:         st.Merges,
+		Migrations:     st.Migrations,
+		Redirects:      st.Redirects,
+		HandoffRejects: st.HandoffRejects,
+		MapRefreshes:   st.MapRefreshes,
+		Servers:        st.Servers,
+		Events:         c.PartitionMgr().Events(),
+	}
+	s.partitions.list = append(s.partitions.list, rec)
+	return rec
+}
+
 // WriteStats streams every collected telemetry sample as JSONL, one
-// labelled record per line — the writer behind azurebench's -statsfile.
+// labelled record per line, followed by one record per partition-master
+// summary — the writer behind azurebench's -statsfile.
 func (s *Suite) WriteStats(w io.Writer) error {
 	for _, sp := range s.samplers.list {
 		if err := sp.WriteJSONL(w); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	for _, rec := range s.partitions.list {
+		if err := enc.Encode(rec); err != nil {
 			return err
 		}
 	}
@@ -212,6 +287,7 @@ func Experiments() []Experiment {
 		{ID: "fig9", Title: "Per-operation time, Queue vs Table (Figure 9)", Run: (*Suite).RunFig9},
 		{ID: "throttle", Title: "Scalability-target throttling (ServerBusy + 1s retry)", Run: (*Suite).RunThrottle},
 		{ID: "faults", Title: "Goodput under injected faults with resilient retries", Run: (*Suite).RunFaults},
+		{ID: "hotspot", Title: "Zipfian hotspot: dynamic partition splitting vs static placement", Run: (*Suite).RunHotspot},
 		{ID: "barrier", Title: "Queue-message barrier cost (Algorithm 2)", Run: (*Suite).RunBarrier},
 		{ID: "netmodel", Title: "DES vs analytical max-min fair-share cross-check", Run: (*Suite).RunNetModel},
 		{ID: "ablation", Title: "Model ablations (replication, read fan-out, table servers, quirk)", Run: (*Suite).RunAblation},

@@ -26,6 +26,9 @@ func tinyConfig() Config {
 	cfg.FaultRates = []float64{0, 0.05}
 	cfg.FaultWorkers = 2
 	cfg.FaultRounds = 80
+	cfg.HotspotWorkers = 48
+	cfg.HotspotKeys = 64
+	cfg.HotspotHorizon = 16 * time.Second
 	return cfg
 }
 
@@ -60,7 +63,7 @@ func TestSplit(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
+	if len(exps) != 15 {
 		t.Fatalf("registry has %d experiments", len(exps))
 	}
 	seen := map[string]bool{}
@@ -73,7 +76,7 @@ func TestExperimentRegistry(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for _, id := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "throttle", "faults", "barrier", "netmodel", "ablation", "cache", "provision"} {
+	for _, id := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "throttle", "faults", "hotspot", "barrier", "netmodel", "ablation", "cache", "provision"} {
 		if _, ok := Lookup(id); !ok {
 			t.Fatalf("Lookup(%s) missing", id)
 		}

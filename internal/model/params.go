@@ -84,6 +84,22 @@ type Params struct {
 	TableUpdateLat     time.Duration
 	TableDeleteLat     time.Duration
 
+	// Partition management (internal/partitionmgr). With PartitionDynamic
+	// false the table service keeps the paper's static first-sight
+	// round-robin placement; true activates the partition master's control
+	// loop — splitting ranges hotter than PartitionSplitOpsPerSec, merging
+	// neighbours colder than PartitionMergeOpsPerSec, scaling out to
+	// MaxTableServers — with each moved range unavailable (ServerBusy) for
+	// PartitionMigrationBlackout. Clients cache the per-table partition map
+	// for PartitionMapCacheTTL and refetch on expiry or redirect.
+	PartitionDynamic           bool
+	MaxTableServers            int
+	PartitionSplitOpsPerSec    float64
+	PartitionMergeOpsPerSec    float64
+	PartitionControlInterval   time.Duration
+	PartitionMigrationBlackout time.Duration
+	PartitionMapCacheTTL       time.Duration
+
 	// Caching service (the §II caching artifact, future work in the paper).
 	CacheNodes        int
 	CacheNodeCapacity int64
@@ -162,6 +178,14 @@ func Default() Params {
 		TableQueryLat:      10 * time.Millisecond,
 		TableUpdateLat:     18 * time.Millisecond,
 		TableDeleteLat:     12 * time.Millisecond,
+
+		PartitionDynamic:           false,
+		MaxTableServers:            8,
+		PartitionSplitOpsPerSec:    250,
+		PartitionMergeOpsPerSec:    50,
+		PartitionControlInterval:   time.Second,
+		PartitionMigrationBlackout: 300 * time.Millisecond,
+		PartitionMapCacheTTL:       2 * time.Second,
 
 		CacheNodes:        4,
 		CacheNodeCapacity: 128 * storecommon.MB,

@@ -69,6 +69,12 @@ const (
 	// mid-transfer, so no HTTP status ever arrived — Status is 0).
 	CodeServerUnavailable Code = "ServerUnavailable"
 	CodeConnectionReset   Code = "ConnectionReset"
+
+	// Partition-map protocol code (package partitionmgr): the addressed
+	// partition server no longer owns the key's range. The client must
+	// refresh its cached partition map and reissue — transient by
+	// definition, since the authoritative map always has an owner.
+	CodePartitionMoved Code = "PartitionMoved"
 )
 
 // Error is the storage error type surfaced by every engine and service
@@ -133,7 +139,7 @@ func IsServerBusy(err error) bool {
 func IsTransient(err error) bool {
 	switch CodeOf(err) {
 	case CodeInternalError, CodeOperationTimedOut, CodeConnectionReset,
-		CodeServerUnavailable, CodeInstanceUnavailable:
+		CodeServerUnavailable, CodeInstanceUnavailable, CodePartitionMoved:
 		return true
 	}
 	return false

@@ -258,6 +258,7 @@ var allCodes = []Code{
 	CodeBatchDuplicateRowKey, CodeSnapshotNotFound, CodeInstanceUnavailable,
 	CodeUnsupportedHTTPVerb, CodeMissingRequiredHeader, CodeAuthenticationFailed,
 	CodeAccountTransactionLimit, CodeServerUnavailable, CodeConnectionReset,
+	CodePartitionMoved,
 }
 
 func TestRetriableCoversEveryCode(t *testing.T) {
@@ -269,6 +270,9 @@ func TestRetriableCoversEveryCode(t *testing.T) {
 		// RoleInstanceUnavailable predates the fault model: a role instance
 		// mid-restart, gone shortly after.
 		CodeInstanceUnavailable: true,
+		// A stale partition map resolves itself on refresh: the retry layer
+		// reissues and the client re-fetches the current map.
+		CodePartitionMoved: true,
 	}
 	busy := map[Code]bool{
 		CodeServerBusy:              true,

@@ -99,7 +99,14 @@ func (s *Sampler) Observe(now time.Duration, stations []Station) {
 		}
 		if dt > 0 {
 			sm.OpsPerSec = float64(rs.Acquired-prev.acquired) / dt
-			sm.RejectsPerSec = float64(rejects-prev.rejects) / dt
+			dRej := rejects - prev.rejects
+			if rejects < prev.rejects {
+				// The station's limiter was recreated (idle-evicted from a
+				// LimiterPool): its counter restarted from zero, so the whole
+				// new count belongs to this interval.
+				dRej = rejects
+			}
+			sm.RejectsPerSec = float64(dRej) / dt
 			if cap := st.Res.Capacity(); cap > 0 {
 				sm.Util = (rs.Busy - prev.busy).Seconds() / dt / float64(cap)
 			}

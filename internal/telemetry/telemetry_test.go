@@ -94,6 +94,29 @@ func TestSamplerRejectRate(t *testing.T) {
 	}
 }
 
+// TestSamplerRejectCounterRestart verifies that a limiter recreated
+// between observations (idle-evicted from a LimiterPool) does not
+// underflow the reject delta: the restarted counter is attributed to the
+// current interval as-is.
+func TestSamplerRejectCounterRestart(t *testing.T) {
+	env := sim.NewEnv(1)
+	res := sim.NewResource(env, "srv", 1)
+	sp := NewSampler("", time.Second)
+	tb := storecommon.NewRateLimiter(1, 1)
+	for i := 0; i < 6; i++ {
+		tb.Allow(0, 1) // 5 rejects
+	}
+	sp.Observe(time.Second, []Station{{Name: "srv", Res: res, Limiter: tb}})
+	fresh := storecommon.NewRateLimiter(1, 1)
+	fresh.Allow(time.Second, 1)
+	fresh.Allow(time.Second, 1) // 1 reject, below the previous counter
+	sp.Observe(2*time.Second, []Station{{Name: "srv", Res: res, Limiter: fresh}})
+	samples := sp.Samples()
+	if got := samples[1].RejectsPerSec; got != 1 {
+		t.Fatalf("rejects/s after limiter restart = %v, want 1 (no underflow)", got)
+	}
+}
+
 // TestWatchStopsWhenAlone runs the sampler as a process and checks it
 // neither deadlocks the run nor outlives the workload by more than a tick.
 func TestWatchStopsWhenAlone(t *testing.T) {

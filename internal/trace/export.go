@@ -19,6 +19,7 @@ type jsonOp struct {
 	Bytes   int64            `json:"bytes,omitempty"`
 	Err     string           `json:"err,omitempty"`
 	Fault   string           `json:"fault,omitempty"`
+	Tag     string           `json:"tag,omitempty"`
 	Spans   map[string]int64 `json:"spans,omitempty"`
 }
 
@@ -48,6 +49,7 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 			Bytes:   op.Bytes,
 			Err:     op.Err,
 			Fault:   op.Fault,
+			Tag:     op.Tag,
 		}
 		if len(op.Spans) > 0 {
 			jo.Spans = make(map[string]int64, len(op.Spans))

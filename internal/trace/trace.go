@@ -27,6 +27,7 @@ const (
 	StagePipeline     = "pipeline"      // post-server storage-pipeline latency
 	StageNicOut       = "nic-out"       // response travel + downlink NIC transfer
 	StageFaultWait    = "fault-wait"    // waiting out an injected network timeout
+	StageHandoff      = "handoff"       // rejected inside a partition-migration blackout
 )
 
 // StageOrder returns the canonical pipeline ordering of span stages.
@@ -34,7 +35,7 @@ func StageOrder() []string {
 	return []string{
 		StageRetryBackoff, StageNicIn, StageThrottle, StageQueueWait,
 		StageServer, StageReplicate, StagePipeline, StageNicOut,
-		StageFaultWait,
+		StageFaultWait, StageHandoff,
 	}
 }
 
@@ -54,6 +55,7 @@ type Op struct {
 	Bytes    int64  // payload bytes moved (both directions)
 	Err      string // storage error code, "" on success
 	Fault    string // injected fault kind ("timeout", "reset", ...), "" if none
+	Tag      string // free-form annotation (partition split/merge/migrate details)
 	// Spans is the per-stage breakdown of Duration; the stage durations sum
 	// to Duration exactly. Empty when the recorder did not attribute stages.
 	Spans []Span
