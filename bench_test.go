@@ -133,3 +133,31 @@ func BenchmarkHotspot(b *testing.B) {
 
 // BenchmarkAblation regenerates the model ablations.
 func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkGeorepl regenerates the geo-replication failover scenario and
+// reports the recovery metrics per iteration alongside the wall cost
+// (cmd/benchjson promotes the rpo/rto/staleness units to typed fields).
+func BenchmarkGeorepl(b *testing.B) {
+	cfg := benchConfig()
+	cfg.GeoWorkers = 2
+	cfg.GeoReaders = 2
+	cfg.GeoHorizon = 12 * time.Second
+	cfg.GeoFailoverAt = 4 * time.Second
+	cfg.GeoOutageDuration = 3 * time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rpo, rtoMs, staleMs float64
+	for i := 0; i < b.N; i++ {
+		s := core.NewSuite(cfg)
+		res := s.RunGeoreplPoint(time.Second)
+		if res.Writes == 0 {
+			b.Fatal("scenario committed no writes")
+		}
+		rpo += float64(res.RPORecords)
+		rtoMs += float64(res.RTOClient) / float64(time.Millisecond)
+		staleMs += float64(res.StalenessP95) / float64(time.Millisecond)
+	}
+	b.ReportMetric(rpo/float64(b.N), "rpo-records")
+	b.ReportMetric(rtoMs/float64(b.N), "rto-ms")
+	b.ReportMetric(staleMs/float64(b.N), "staleness-p95-ms")
+}

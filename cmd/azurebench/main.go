@@ -13,6 +13,7 @@
 //	azurebench -tracefile trace.jsonl     # export every traced op as JSONL
 //	azurebench -telemetry                 # station timelines under the figures
 //	azurebench -statsfile stats.jsonl     # export telemetry samples as JSONL
+//	azurebench -experiment georepl -regions 2 -geolag 500ms,5s -failoverat 20s
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"azurebench/internal/core"
 )
@@ -40,6 +42,9 @@ func main() {
 		statsFile  = flag.String("statsfile", "", "write telemetry samples as JSONL to this file (implies -telemetry)")
 		outDir     = flag.String("o", "", "also write per-experiment .txt and .csv files into this directory")
 		faultRates = flag.String("faultrates", "", "override the faults experiment's rate sweep, e.g. 0,0.01,0.05")
+		regions    = flag.Int("regions", 0, "override the georepl experiment's region count (2 enables geo-replication)")
+		geoLag     = flag.String("geolag", "", "override the georepl lag-bound sweep, e.g. 500ms,2s,5s")
+		failoverAt = flag.String("failoverat", "", "override when the georepl primary-region outage starts, e.g. 20s")
 	)
 	flag.Parse()
 
@@ -72,6 +77,26 @@ func main() {
 			fatalf("bad -faultrates: %v", err)
 		}
 		cfg.FaultRates = rates
+	}
+	if *regions != 0 {
+		if *regions != 1 && *regions != 2 {
+			fatalf("bad -regions: %d (the model supports 1 or 2)", *regions)
+		}
+		cfg.Params.GeoRegions = *regions
+	}
+	if *geoLag != "" {
+		bounds, err := parseDurations(*geoLag)
+		if err != nil {
+			fatalf("bad -geolag: %v", err)
+		}
+		cfg.GeoLagBounds = bounds
+	}
+	if *failoverAt != "" {
+		at, err := time.ParseDuration(*failoverAt)
+		if err != nil || at <= 0 {
+			fatalf("bad -failoverat: %q (want a positive duration like 20s)", *failoverAt)
+		}
+		cfg.GeoFailoverAt = at
 	}
 	suite := core.NewSuite(cfg)
 
@@ -168,6 +193,21 @@ func parseInts(s string) ([]int, error) {
 			return nil, fmt.Errorf("worker count %d < 1", n)
 		}
 		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseDurations(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("lag bound %v must be positive", d)
+		}
+		out = append(out, d)
 	}
 	return out, nil
 }

@@ -17,16 +17,25 @@ type Report struct {
 }
 
 // Benchmark is one result line. NsPerOp/BytesPerOp/AllocsPerOp cover the
-// standard -benchmem columns; Metrics holds any extra b.ReportMetric units.
+// standard -benchmem columns; the georepl recovery metrics emitted by
+// BenchmarkGeorepl get typed fields of their own; Metrics holds any other
+// b.ReportMetric units.
 type Benchmark struct {
-	Name        string             `json:"name"`
-	Pkg         string             `json:"pkg,omitempty"`
-	Procs       int                `json:"procs"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	// Geo-replication recovery columns ("rpo-records", "rto-ms",
+	// "staleness-p95-ms"). RPORecords is a pointer so a measured zero
+	// (no data lost) survives the round trip distinguishably from absent.
+	RPORecords     *float64           `json:"rpo_records,omitempty"`
+	RTOMs          float64            `json:"rto_ms,omitempty"`
+	StalenessP95Ms float64            `json:"staleness_p95_ms,omitempty"`
+	Metrics        map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Parse reads `go test -bench` output and collects every benchmark line,
@@ -96,6 +105,13 @@ func parseBenchLine(line string) (Benchmark, bool) {
 			b.BytesPerOp = v
 		case "allocs/op":
 			b.AllocsPerOp = v
+		case "rpo-records":
+			rpo := v
+			b.RPORecords = &rpo
+		case "rto-ms":
+			b.RTOMs = v
+		case "staleness-p95-ms":
+			b.StalenessP95Ms = v
 		default:
 			if b.Metrics == nil {
 				b.Metrics = map[string]float64{}

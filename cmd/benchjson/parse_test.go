@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -91,5 +92,39 @@ func TestParseIgnoresMalformedBenchLines(t *testing.T) {
 	}
 	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "OK" {
 		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+}
+
+func TestParseGeoreplColumns(t *testing.T) {
+	in := "BenchmarkGeorepl-8\t12\t9876543 ns/op\t0 rpo-records\t2648.5 rto-ms\t1506.9 staleness-p95-ms\t42 splits/op\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+	b := rep.Benchmarks[0]
+	if b.RPORecords == nil || *b.RPORecords != 0 {
+		t.Errorf("RPORecords = %v, want pointer to 0 (a measured zero must survive)", b.RPORecords)
+	}
+	if b.RTOMs != 2648.5 {
+		t.Errorf("RTOMs = %v, want 2648.5", b.RTOMs)
+	}
+	if b.StalenessP95Ms != 1506.9 {
+		t.Errorf("StalenessP95Ms = %v, want 1506.9", b.StalenessP95Ms)
+	}
+	// Unrecognised units still land in the open-ended map.
+	if b.Metrics["splits/op"] != 42 {
+		t.Errorf("Metrics = %v, want splits/op 42", b.Metrics)
+	}
+	out, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"rpo_records":0`, `"rto_ms":2648.5`, `"staleness_p95_ms":1506.9`} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("JSON %s missing %s", out, want)
+		}
 	}
 }

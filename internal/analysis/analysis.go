@@ -142,6 +142,8 @@ var simFacingSegments = map[string]bool{
 	"model":        true,
 	"core":         true,
 	"faults":       true,
+	"georepl":      true,
+	"netmodel":     true,
 	"partitionmgr": true,
 	"telemetry":    true,
 	"trace":        true,

@@ -19,6 +19,8 @@ func (cl *Client) CreateContainer(p *sim.Proc, name string) error {
 		service: "blob",
 		up:      reqHeader,
 		server:  rs.primary(),
+		geoKey:  name,
+		mirror:  func(dst *Cloud) error { return dst.Blob.CreateContainer(name) },
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Blob.CreateContainer(name)
 		},
@@ -35,6 +37,11 @@ func (cl *Client) CreateContainerIfNotExists(p *sim.Proc, name string) (bool, er
 		service: "blob",
 		up:      reqHeader,
 		server:  rs.primary(),
+		geoKey:  name,
+		mirror: func(dst *Cloud) error {
+			_, err := dst.Blob.CreateContainerIfNotExists(name)
+			return err
+		},
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			created, err = cl.cloud.Blob.CreateContainerIfNotExists(name)
@@ -53,6 +60,8 @@ func (cl *Client) DeleteContainer(p *sim.Proc, name string) error {
 		service: "blob",
 		up:      reqHeader,
 		server:  rs.primary(),
+		geoKey:  name,
+		mirror:  func(dst *Cloud) error { return dst.Blob.DeleteContainer(name) },
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Blob.DeleteContainer(name)
 		},
@@ -69,6 +78,10 @@ func (cl *Client) PutBlock(p *sim.Proc, container, blob, blockID string, data pa
 		up:      data.Len() + reqHeader,
 		server:  rs.primary(),
 		repl:    cl.cloud.prm.ReplCost(),
+		geoKey:  container,
+		mirror: func(dst *Cloud) error {
+			return dst.Blob.PutBlock(container, blob, blockID, data)
+		},
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.BlockPutOcc(data.Len()), 0,
 				cl.cloud.Blob.PutBlock(container, blob, blockID, data)
@@ -86,6 +99,8 @@ func (cl *Client) PutBlockList(p *sim.Proc, container, blob string, refs []blobs
 		up:      int64(len(refs))*72 + reqHeader,
 		server:  rs.primary(),
 		repl:    cl.cloud.prm.ReplCost(),
+		geoKey:  container,
+		mirror:  mirrorBlockList(container, blob, refs),
 		apply: func() (time.Duration, int64, error) {
 			_, err := cl.cloud.Blob.PutBlockList(container, blob, refs, "")
 			return cl.cloud.prm.CommitOcc(len(refs)), 0, err
@@ -103,6 +118,11 @@ func (cl *Client) UploadBlockBlob(p *sim.Proc, container, blob string, data payl
 		up:      data.Len() + reqHeader,
 		server:  rs.primary(),
 		repl:    cl.cloud.prm.ReplCost(),
+		geoKey:  container,
+		mirror: func(dst *Cloud) error {
+			_, err := dst.Blob.UploadBlockBlob(container, blob, data, "")
+			return err
+		},
 		apply: func() (time.Duration, int64, error) {
 			_, err := cl.cloud.Blob.UploadBlockBlob(container, blob, data, "")
 			return cl.cloud.prm.BlockPutOcc(data.Len()), 0, err
@@ -141,6 +161,11 @@ func (cl *Client) CreatePageBlob(p *sim.Proc, container, blob string, size int64
 		service: "blob",
 		up:      reqHeader,
 		server:  rs.primary(),
+		geoKey:  container,
+		mirror: func(dst *Cloud) error {
+			_, err := dst.Blob.CreatePageBlob(container, blob, size)
+			return err
+		},
 		apply: func() (time.Duration, int64, error) {
 			_, err := cl.cloud.Blob.CreatePageBlob(container, blob, size)
 			return cl.cloud.prm.ContainerOpOcc, 0, err
@@ -158,6 +183,10 @@ func (cl *Client) PutPage(p *sim.Proc, container, blob string, off int64, data p
 		up:      data.Len() + reqHeader,
 		server:  rs.primary(),
 		repl:    cl.cloud.prm.ReplCost(),
+		geoKey:  container,
+		mirror: func(dst *Cloud) error {
+			return dst.Blob.PutPages(container, blob, off, data, "")
+		},
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.PagePutOcc(data.Len()), 0,
 				cl.cloud.Blob.PutPages(container, blob, off, data, "")
@@ -240,6 +269,8 @@ func (cl *Client) DeleteBlob(p *sim.Proc, container, blob string) error {
 		up:      reqHeader,
 		server:  rs.primary(),
 		repl:    cl.cloud.prm.ReplCost(),
+		geoKey:  container,
+		mirror:  func(dst *Cloud) error { return dst.Blob.DeleteBlob(container, blob, "") },
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.DeleteBlobOcc(), 0,
 				cl.cloud.Blob.DeleteBlob(container, blob, "")
@@ -263,4 +294,14 @@ func (cl *Client) BlobProps(p *sim.Proc, container, blob string) (blobstore.Prop
 		},
 	})
 	return props, err
+}
+
+// mirrorBlockList snapshots a block-list commit for replay on the
+// secondary (the caller may reuse its refs slice).
+func mirrorBlockList(container, blob string, refs []blobstore.BlockRef) func(*Cloud) error {
+	cp := append([]blobstore.BlockRef(nil), refs...)
+	return func(dst *Cloud) error {
+		_, err := dst.Blob.PutBlockList(container, blob, cp, "")
+		return err
+	}
 }

@@ -16,7 +16,7 @@ func (c *Cloud) cacheCluster() *cachestore.Cluster {
 		c.cache = cachestore.New(c.clock, c.prm.CacheNodes, c.prm.CacheNodeCapacity)
 		c.cacheSrv = make([]*sim.Resource, c.prm.CacheNodes)
 		for i := range c.cacheSrv {
-			c.cacheSrv[i] = sim.NewResource(c.env, fmt.Sprintf("cache-node-%d", i), c.prm.ServerConcurrency)
+			c.cacheSrv[i] = sim.NewResource(c.env, c.station(fmt.Sprintf("cache-node-%d", i)), c.prm.ServerConcurrency)
 		}
 	}
 	return c.cache

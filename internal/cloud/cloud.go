@@ -21,6 +21,7 @@ import (
 	"azurebench/internal/blobstore"
 	"azurebench/internal/cachestore"
 	"azurebench/internal/faults"
+	"azurebench/internal/georepl"
 	"azurebench/internal/model"
 	"azurebench/internal/partitionmgr"
 	"azurebench/internal/queuestore"
@@ -38,9 +39,14 @@ import (
 // with; the simulation's cooperative scheduling makes internal locking
 // unnecessary.
 type Cloud struct {
-	env   *sim.Env
-	prm   model.Params
-	clock vclock.Sim
+	env *sim.Env
+	prm model.Params
+	// region names the datacenter this account instance lives in; "" for
+	// the default single-region deployment. A non-empty region prefixes
+	// every station name, so the two halves of a geo-replicated account
+	// stay distinguishable in telemetry and fault plans.
+	region string
+	clock  vclock.Sim
 
 	// The engines are exported for white-box assertions in tests and for
 	// zero-cost setup in experiment harnesses.
@@ -64,6 +70,12 @@ type Cloud struct {
 	traceLog *trace.Log
 	faults   *faults.Injector
 
+	// geo, when attached, receives every committed mutation for async
+	// replay against geoDst (the paired secondary-region cloud). Nil —
+	// the default — means single-region: the pipeline consults nothing.
+	geo    *georepl.Stream
+	geoDst *Cloud
+
 	stats Stats
 }
 
@@ -80,6 +92,19 @@ func (c *Cloud) Faults() *faults.Injector { return c.faults }
 // recorded with its virtual start time, duration, payload bytes and error
 // code. Pass nil to detach.
 func (c *Cloud) SetTrace(l *trace.Log) { c.traceLog = l }
+
+// SetGeoStream attaches a geo-replication stream: every mutation this
+// cloud commits from now on is appended to s for asynchronous replay
+// against dst. Pass nil, nil to detach (the default); with no stream
+// attached the request pipeline is byte-identical to a single-region
+// cloud.
+func (c *Cloud) SetGeoStream(s *georepl.Stream, dst *Cloud) {
+	c.geo = s
+	c.geoDst = dst
+}
+
+// GeoStream returns the attached replication stream (nil when detached).
+func (c *Cloud) GeoStream() *georepl.Stream { return c.geo }
 
 // Trace returns the attached operation log (nil when tracing is off).
 func (c *Cloud) Trace() *trace.Log { return c.traceLog }
@@ -110,8 +135,17 @@ type replicaSet struct {
 	rr       int
 }
 
-// New builds a cloud on env with parameters prm.
+// New builds a cloud on env with parameters prm, in the default
+// (unnamed) region.
 func New(env *sim.Env, prm model.Params) *Cloud {
+	return NewInRegion(env, prm, "")
+}
+
+// NewInRegion builds a cloud in a named datacenter region. The region
+// prefixes every station name ("west/queue:jobs") and scopes fault
+// windows; an empty region reproduces New exactly, station names
+// included.
+func NewInRegion(env *sim.Env, prm model.Params, region string) *Cloud {
 	clock := vclock.NewSim(env)
 	// The master's tie-break randomness comes from the environment's
 	// seeded stream — and only when the control loop is on, so a static
@@ -122,10 +156,11 @@ func New(env *sim.Env, prm model.Params) *Cloud {
 		pmRand = env.Rand()
 	}
 	return &Cloud{
-		env:   env,
-		prm:   prm,
-		clock: clock,
-		Blob:  blobstore.New(clock),
+		env:    env,
+		prm:    prm,
+		region: region,
+		clock:  clock,
+		Blob:   blobstore.New(clock),
 		// FIFO is not guaranteed by the real queue service (paper §IV-B);
 		// a small selection window reproduces the occasional reordering
 		// that motivates the paper's dedicated termination-indicator queue.
@@ -152,6 +187,18 @@ func New(env *sim.Env, prm model.Params) *Cloud {
 // activity.
 func (c *Cloud) PartitionMgr() *partitionmgr.Master { return c.pmgr }
 
+// Region returns the cloud's region name ("" for single-region).
+func (c *Cloud) Region() string { return c.region }
+
+// station qualifies a station name with the region; a single-region
+// cloud's names are untouched, keeping historical telemetry stable.
+func (c *Cloud) station(name string) string {
+	if c.region == "" {
+		return name
+	}
+	return c.region + "/" + name
+}
+
 // Env returns the simulation environment.
 func (c *Cloud) Env() *sim.Env { return c.env }
 
@@ -172,7 +219,7 @@ func (c *Cloud) blobReplicas(container, blob string) *replicaSet {
 	if !ok {
 		replicas := make([]*sim.Resource, c.prm.Replicas)
 		for i := range replicas {
-			replicas[i] = sim.NewResource(c.env, fmt.Sprintf("blob:%s/r%d", key, i), c.prm.ServerConcurrency)
+			replicas[i] = sim.NewResource(c.env, c.station(fmt.Sprintf("blob:%s/r%d", key, i)), c.prm.ServerConcurrency)
 		}
 		rs = &replicaSet{replicas: replicas}
 		c.blobSrv[key] = rs
@@ -203,7 +250,7 @@ func (c *Cloud) readReplica(rs *replicaSet) *sim.Resource {
 func (c *Cloud) queueServer(name string) *sim.Resource {
 	srv, ok := c.queueSrv[name]
 	if !ok {
-		srv = sim.NewResource(c.env, "queue:"+name, c.prm.ServerConcurrency)
+		srv = sim.NewResource(c.env, c.station("queue:"+name), c.prm.ServerConcurrency)
 		c.queueSrv[name] = srv
 	}
 	return srv
@@ -226,7 +273,7 @@ func (c *Cloud) ensureTableServers() {
 	}
 	for len(c.tableSrv) < want {
 		c.tableSrv = append(c.tableSrv,
-			sim.NewResource(c.env, fmt.Sprintf("table-srv-%d", len(c.tableSrv)), c.prm.ServerConcurrency))
+			sim.NewResource(c.env, c.station(fmt.Sprintf("table-srv-%d", len(c.tableSrv))), c.prm.ServerConcurrency))
 	}
 }
 
@@ -328,6 +375,11 @@ type request struct {
 	// occupancy (zero for reads and unreplicated ops); tracing splits it
 	// out of the server span.
 	repl time.Duration
+	// mirror, set only when a geo stream is attached, replays the
+	// mutation against the secondary-region cloud; geoKey is the
+	// replication-log partition (container, queue, or table name).
+	mirror func(dst *Cloud) error
+	geoKey string
 
 	// Filled in by do for the trace record.
 	tracedDown int64
@@ -450,7 +502,7 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 	}
 	var dec faults.Decision
 	if c.faults != nil {
-		dec = c.faults.Decide(c.env.Now(), req.service, req.op, req.server.Name())
+		dec = c.faults.DecideIn(c.env.Now(), c.region, req.service, req.op, req.server.Name())
 	}
 	p.Sleep(prm.RequestOverhead)
 	if dec.Kind == faults.Reset && req.mut {
@@ -553,6 +605,13 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 	req.tracedDown = down
 	if err != nil {
 		req.tracedErr = string(storecommon.CodeOf(err))
+	}
+	if err == nil && req.mirror != nil && c.geo != nil {
+		// The mutation just committed on the primary: append it to the
+		// geo-replication log for asynchronous replay on the secondary.
+		mirror, dst := req.mirror, c.geoDst
+		c.geo.Append(c.env.Now(), req.service, req.geoKey, req.op, req.up,
+			func() error { return mirror(dst) })
 	}
 	c.stats.Ops++
 	p.Sleep(occ)
@@ -672,7 +731,7 @@ func (c *Cloud) NewClient(name string, vm model.VMSize) *Client {
 		cloud:  c,
 		name:   name,
 		vm:     vm,
-		nic:    sim.NewResource(c.env, "nic:"+name, 1),
+		nic:    sim.NewResource(c.env, c.station("nic:"+name), 1),
 		policy: retry.Paper(c.prm.RetryBackoff),
 	}
 }

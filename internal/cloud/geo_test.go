@@ -1,0 +1,316 @@
+package cloud
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"azurebench/internal/faults"
+	"azurebench/internal/georepl"
+	"azurebench/internal/model"
+	"azurebench/internal/payload"
+	"azurebench/internal/retry"
+	"azurebench/internal/sim"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/tablestore"
+)
+
+func geoParams() model.Params {
+	prm := model.Default()
+	prm.GeoRegions = 2
+	prm.GeoReplicationLagBound = time.Second
+	prm.GeoWANRTT = 70 * time.Millisecond
+	prm.GeoFailoverDetection = 500 * time.Millisecond
+	prm.GeoPromotionBlackout = 100 * time.Millisecond
+	return prm
+}
+
+func TestGeoReplicationMirrorsAllServices(t *testing.T) {
+	env := sim.NewEnv(3)
+	g, err := NewGeoAccount(env, geoParams())
+	if err != nil {
+		t.Fatalf("NewGeoAccount: %v", err)
+	}
+	gc := g.NewGeoClient("writer", model.Small)
+	env.Go("writer", func(p *sim.Proc) {
+		cl := gc.Active()
+		must(t, cl.CreateContainer(p, "cont"))
+		must(t, cl.UploadBlockBlob(p, "cont", "b1", payload.Zero(4096)))
+		must(t, cl.CreateQueue(p, "jobs"))
+		if _, err := cl.PutMessage(p, "jobs", payload.Zero(128)); err != nil {
+			t.Errorf("PutMessage: %v", err)
+		}
+		must(t, cl.CreateTable(p, "orders"))
+		e := &tablestore.Entity{PartitionKey: "p1", RowKey: "r1",
+			Props: map[string]tablestore.Value{"Data": tablestore.Binary(payload.Zero(256))}}
+		if _, err := cl.InsertEntity(p, "orders", e); err != nil {
+			t.Errorf("InsertEntity: %v", err)
+		}
+	})
+	env.Run()
+
+	// Every mutation must have replayed onto the secondary's engines.
+	sec := g.Secondary()
+	if data, _, err := sec.Blob.Download("cont", "b1"); err != nil || data.Len() != 4096 {
+		t.Errorf("secondary blob = %v bytes, err %v; want 4096, nil", data.Len(), err)
+	}
+	if n, err := sec.Queue.ApproximateCount("jobs"); err != nil || n != 1 {
+		t.Errorf("secondary queue count = %d, err %v; want 1, nil", n, err)
+	}
+	if e, err := sec.Table.Get("orders", "p1", "r1"); err != nil || e == nil {
+		t.Errorf("secondary entity missing: %v", err)
+	}
+	st := g.Forward().Stats()
+	if st.Appended != 6 || st.Applied != 6 || st.LostAtFreeze != 0 {
+		t.Errorf("forward stream stats = %+v, want 6 appended and applied", st)
+	}
+	if g.LastSyncTime() == 0 {
+		t.Error("LastSyncTime still zero after replication")
+	}
+	// The primary's engines never saw replayed traffic (counts match what
+	// the writer itself did).
+	if n, _ := g.Primary().Queue.ApproximateCount("jobs"); n != 1 {
+		t.Errorf("primary queue count = %d, want 1", n)
+	}
+}
+
+func TestGeoQueueDeleteReplaysByID(t *testing.T) {
+	env := sim.NewEnv(3)
+	g, err := NewGeoAccount(env, geoParams())
+	if err != nil {
+		t.Fatalf("NewGeoAccount: %v", err)
+	}
+	gc := g.NewGeoClient("w", model.Small)
+	env.Go("w", func(p *sim.Proc) {
+		cl := gc.Active()
+		must(t, cl.CreateQueue(p, "que"))
+		if _, err := cl.PutMessage(p, "que", payload.Zero(64)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		// Wait for the Put to replicate before consuming it, so the
+		// replayed delete finds the mirrored message.
+		p.Sleep(2 * time.Second)
+		msg, ok, err := cl.GetMessage(p, "que", 0)
+		if err != nil || !ok {
+			t.Fatalf("get: ok=%v err=%v", ok, err)
+		}
+		must(t, cl.DeleteMessage(p, "que", msg.ID, msg.PopReceipt))
+	})
+	env.Run()
+	if n, _ := g.Secondary().Queue.ApproximateCount("que"); n != 0 {
+		t.Errorf("secondary queue holds %d messages after replicated delete, want 0", n)
+	}
+	if st := g.Forward().Stats(); st.ApplyErrors != 0 {
+		t.Errorf("replay errors: %+v", st)
+	}
+}
+
+func TestGeoFailoverCycle(t *testing.T) {
+	env := sim.NewEnv(5)
+	prm := geoParams()
+	g, err := NewGeoAccount(env, prm)
+	if err != nil {
+		t.Fatalf("NewGeoAccount: %v", err)
+	}
+	outageStart, outageDur := 10*time.Second, 5*time.Second
+	g.SetFaults(faults.NewInjector(faults.Plan{
+		Outages: []faults.Window{OutageWindow(outageStart, outageDur)},
+	}))
+	g.ScheduleFailover(outageStart, outageDur)
+
+	gc := g.NewGeoClient("w", model.Small)
+	pol := retry.Resilient()
+	pol.MaxAttempts = 50
+	pol.Deadline = time.Minute
+	var failedOver time.Duration
+	env.Go("w", func(p *sim.Proc) {
+		cl := gc.Active()
+		must(t, cl.CreateQueue(p, "que"))
+		for i := 0; i < 100; i++ {
+			wasPrimary := gc.Active() == cl
+			_, err := gc.Retry(p, pol, func(c *Client) error {
+				_, err := c.PutMessage(p, "que", payload.Zero(64))
+				return err
+			})
+			if err != nil {
+				t.Errorf("put %d failed terminally: %v", i, err)
+			}
+			if failedOver == 0 && wasPrimary && gc.Active() != cl {
+				failedOver = p.Now()
+			}
+			p.Sleep(200 * time.Millisecond)
+		}
+	})
+	env.Run()
+
+	acct := g.Account()
+	if acct.State() != georepl.StateHealthy {
+		t.Errorf("final state = %v, want healthy", acct.State())
+	}
+	if !acct.ActiveIsSecondary() {
+		t.Error("roles did not swap")
+	}
+	promotedAt, ok := acct.PromotedAt()
+	if !ok {
+		t.Fatal("no promotion recorded")
+	}
+	if want := outageStart + prm.GeoFailoverDetection; promotedAt != want {
+		t.Errorf("promoted at %v, want %v", promotedAt, want)
+	}
+	if failedOver == 0 || failedOver < promotedAt {
+		t.Errorf("client failed over at %v, promotion at %v", failedOver, promotedAt)
+	}
+	// The secondary's partition maps were promoted exactly once.
+	if s := g.Secondary().PartitionMgr().Stats(); s.Promotions != 1 {
+		t.Errorf("secondary promotions = %d, want 1", s.Promotions)
+	}
+	// Messages committed on the primary but not yet shipped are the RPO;
+	// the queue on the promoted secondary holds everything that
+	// replicated plus everything written after promotion.
+	lost := acct.TotalLost()
+	secN, _ := g.Secondary().Queue.ApproximateCount("que")
+	priN, _ := g.Primary().Queue.ApproximateCount("que")
+	if int(lost)+secN < 100 {
+		t.Errorf("lost %d + secondary %d < 100 puts", lost, secN)
+	}
+	// Failback replayed post-promotion writes into the old primary.
+	if g.Reverse() == nil {
+		t.Fatal("no reverse stream created")
+	}
+	if rs := g.Reverse().Stats(); rs.Applied == 0 {
+		t.Error("reverse stream applied nothing during failback")
+	}
+	if priN == 0 {
+		t.Error("old primary empty after failback")
+	}
+}
+
+func TestGeoOutageFailsPrimaryOnly(t *testing.T) {
+	env := sim.NewEnv(5)
+	g, err := NewGeoAccount(env, geoParams())
+	if err != nil {
+		t.Fatalf("NewGeoAccount: %v", err)
+	}
+	g.SetFaults(faults.NewInjector(faults.Plan{
+		Outages: []faults.Window{OutageWindow(0, time.Minute)},
+	}))
+	var priErr, secErr error
+	env.Go("probe", func(p *sim.Proc) {
+		gc := g.NewGeoClient("probe", model.Small)
+		priErr = gc.pri.CreateQueue(p, "que")
+		secErr = gc.sec.CreateQueue(p, "que")
+	})
+	env.Run()
+	if !storecommon.IsTransient(priErr) {
+		t.Errorf("primary request inside region outage returned %v, want ServerUnavailable", priErr)
+	}
+	if secErr != nil {
+		t.Errorf("secondary request failed during a primary-scoped outage: %v", secErr)
+	}
+}
+
+// TestGeoRetryBudgetExhaustedByOutage pins the budgeted-retry contract
+// across a region outage: a policy drawing on a shared budget stops
+// retrying once the pool is dry — it does not spin for the whole outage —
+// and the terminal error still carries the outage's fault code.
+func TestGeoRetryBudgetExhaustedByOutage(t *testing.T) {
+	env := sim.NewEnv(7)
+	g, err := NewGeoAccount(env, geoParams())
+	if err != nil {
+		t.Fatalf("NewGeoAccount: %v", err)
+	}
+	// A primary-scoped outage longer than any backoff schedule; no
+	// failover is scheduled, so the active region never recovers.
+	g.SetFaults(faults.NewInjector(faults.Plan{
+		Outages: []faults.Window{OutageWindow(0, time.Hour)},
+	}))
+	budget := retry.NewBudget(3)
+	pol := retry.Resilient()
+	pol.MaxAttempts = 100
+	pol.Deadline = time.Hour
+	pol.Budget = budget
+
+	gc := g.NewGeoClient("w", model.Small)
+	var (
+		retries int
+		opErr   error
+		gaveUp  time.Duration
+	)
+	env.Go("w", func(p *sim.Proc) {
+		retries, opErr = gc.Retry(p, pol, func(cl *Client) error {
+			return cl.CreateQueue(p, "que")
+		})
+		gaveUp = p.Now()
+	})
+	env.Run()
+
+	if opErr == nil {
+		t.Fatal("request inside a permanent outage succeeded")
+	}
+	if code := storecommon.CodeOf(opErr); code != storecommon.CodeServerUnavailable {
+		t.Errorf("terminal error code = %q, want %q (outage fault preserved)", code, storecommon.CodeServerUnavailable)
+	}
+	if retries != 3 {
+		t.Errorf("spent %d retries, want exactly the budget of 3", retries)
+	}
+	if budget.Remaining() != 0 {
+		t.Errorf("budget has %d tokens left, want 0", budget.Remaining())
+	}
+	// Exhausting a 3-token exponential schedule takes ~1.75s of backoff;
+	// giving up within 10s of virtual time proves the client did not ride
+	// the full hour-long outage.
+	if gaveUp > 10*time.Second {
+		t.Errorf("client gave up at %v, should have exhausted the budget within 10s", gaveUp)
+	}
+}
+
+func TestGeoRegionPrefixesStations(t *testing.T) {
+	env := sim.NewEnv(1)
+	g, err := NewGeoAccount(env, geoParams())
+	if err != nil {
+		t.Fatalf("NewGeoAccount: %v", err)
+	}
+	gc := g.NewGeoClient("w", model.Small)
+	env.Go("w", func(p *sim.Proc) {
+		must(t, gc.Active().CreateQueue(p, "jobs"))
+		// Let the CreateQueue replicate, then read it from the secondary:
+		// an RA-GRS read instantiates the secondary's station (replication
+		// replays at the engine level and creates none).
+		p.Sleep(2 * time.Second)
+		if _, err := gc.Secondary().GetMessageCount(p, "jobs"); err != nil {
+			t.Errorf("secondary read: %v", err)
+		}
+	})
+	env.Run()
+	found := map[string]bool{}
+	for _, st := range g.Stations() {
+		found[st.Name] = true
+	}
+	for _, want := range []string{"primary/queue:jobs", "secondary/queue:jobs", "wan:primary->secondary"} {
+		if !found[want] {
+			t.Errorf("station %q missing from %v", want, keys(found))
+		}
+	}
+	// A default single-region cloud keeps its historical names.
+	c := New(sim.NewEnv(1), model.Default())
+	if got := c.queueServer("jobs").Name(); got != "queue:jobs" {
+		t.Errorf("single-region station named %q, want queue:jobs", got)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt while the test set evolves

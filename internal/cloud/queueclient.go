@@ -17,6 +17,8 @@ func (cl *Client) CreateQueue(p *sim.Proc, name string) error {
 		service: "queue",
 		up:      reqHeader,
 		server:  cl.cloud.queueServer(name),
+		geoKey:  name,
+		mirror:  func(dst *Cloud) error { return dst.Queue.CreateQueue(name) },
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Queue.CreateQueue(name)
 		},
@@ -32,6 +34,11 @@ func (cl *Client) CreateQueueIfNotExists(p *sim.Proc, name string) (bool, error)
 		service: "queue",
 		up:      reqHeader,
 		server:  cl.cloud.queueServer(name),
+		geoKey:  name,
+		mirror: func(dst *Cloud) error {
+			_, err := dst.Queue.CreateQueueIfNotExists(name)
+			return err
+		},
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			created, err = cl.cloud.Queue.CreateQueueIfNotExists(name)
@@ -49,6 +56,8 @@ func (cl *Client) DeleteQueue(p *sim.Proc, name string) error {
 		service: "queue",
 		up:      reqHeader,
 		server:  cl.cloud.queueServer(name),
+		geoKey:  name,
+		mirror:  func(dst *Cloud) error { return dst.Queue.DeleteQueue(name) },
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Queue.DeleteQueue(name)
 		},
@@ -67,6 +76,14 @@ func (cl *Client) PutMessage(p *sim.Proc, name string, body payload.Payload) (qu
 		queue:   name,
 		repl:    cl.cloud.prm.ReplCost(),
 		lat:     cl.cloud.prm.QueueLat(model.QPut, body.Len()),
+		geoKey:  name,
+		// Replaying Puts in log order reproduces the primary's message IDs
+		// on the secondary (per-queue counters advance identically), so a
+		// later replicated Delete finds its message by ID.
+		mirror: func(dst *Cloud) error {
+			_, err := dst.Queue.Put(name, body, 0)
+			return err
+		},
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			msg, err = cl.cloud.Queue.Put(name, body, 0)
@@ -147,6 +164,10 @@ func (cl *Client) DeleteMessage(p *sim.Proc, name, msgID, popReceipt string) err
 		queue:   name,
 		repl:    cl.cloud.prm.ReplCost(),
 		lat:     cl.cloud.prm.QueueLat(model.QDelete, 0),
+		geoKey:  name,
+		// The secondary never saw the Get that issued the pop receipt, so
+		// the replay deletes by ID through the receipt-free replica path.
+		mirror: func(dst *Cloud) error { return dst.Queue.ReplicaDelete(name, msgID) },
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.QueueOcc(model.QDelete, 0, 0), 0,
 				cl.cloud.Queue.Delete(name, msgID, popReceipt)
@@ -166,6 +187,8 @@ func (cl *Client) UpdateMessage(p *sim.Proc, name, msgID, popReceipt string, bod
 		queue:   name,
 		repl:    cl.cloud.prm.ReplCost(),
 		lat:     cl.cloud.prm.QueueLat(model.QPut, body.Len()),
+		geoKey:  name,
+		mirror:  func(dst *Cloud) error { return dst.Queue.ReplicaUpdate(name, msgID, body) },
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			msg, err = cl.cloud.Queue.Update(name, msgID, popReceipt, body, visibility)
@@ -204,6 +227,8 @@ func (cl *Client) ClearQueue(p *sim.Proc, name string) error {
 		up:      reqHeader,
 		server:  cl.cloud.queueServer(name),
 		queue:   name,
+		geoKey:  name,
+		mirror:  func(dst *Cloud) error { return dst.Queue.ClearMessages(name) },
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Queue.ClearMessages(name)
 		},

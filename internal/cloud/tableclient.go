@@ -19,6 +19,8 @@ func (cl *Client) CreateTable(p *sim.Proc, name string) error {
 		up:        reqHeader,
 		server:    srv,
 		serverIdx: idx,
+		geoKey:    name,
+		mirror:    func(dst *Cloud) error { return dst.Table.CreateTable(name) },
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Table.CreateTable(name)
 		},
@@ -36,6 +38,11 @@ func (cl *Client) CreateTableIfNotExists(p *sim.Proc, name string) (bool, error)
 		up:        reqHeader,
 		server:    srv,
 		serverIdx: idx,
+		geoKey:    name,
+		mirror: func(dst *Cloud) error {
+			_, err := dst.Table.CreateTableIfNotExists(name)
+			return err
+		},
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			created, err = cl.cloud.Table.CreateTableIfNotExists(name)
@@ -55,6 +62,8 @@ func (cl *Client) DeleteTable(p *sim.Proc, name string) error {
 		up:        reqHeader,
 		server:    srv,
 		serverIdx: idx,
+		geoKey:    name,
+		mirror:    func(dst *Cloud) error { return dst.Table.DeleteTable(name) },
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.ContainerOpOcc, 0, cl.cloud.Table.DeleteTable(name)
 		},
@@ -77,6 +86,13 @@ func (cl *Client) InsertEntity(p *sim.Proc, tableName string, e *tablestore.Enti
 		part:      e.PartitionKey,
 		repl:      cl.cloud.prm.ReplCost(),
 		lat:       cl.cloud.prm.TableLat(model.TInsert),
+		geoKey:    tableName,
+		// The clone snapshots the entity at commit time; the secondary
+		// assigns its own ETag when the record replays.
+		mirror: mirrorEntity(e, func(dst *Cloud, c *tablestore.Entity) error {
+			_, err := dst.Table.Insert(tableName, c)
+			return err
+		}),
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			stored, err = cl.cloud.Table.Insert(tableName, e)
@@ -130,6 +146,13 @@ func (cl *Client) UpdateEntity(p *sim.Proc, tableName string, e *tablestore.Enti
 		part:      e.PartitionKey,
 		repl:      cl.cloud.prm.ReplCost(),
 		lat:       cl.cloud.prm.TableLat(model.TUpdate),
+		geoKey:    tableName,
+		// ETag preconditions were already checked on the primary; the
+		// replay applies unconditionally ("*").
+		mirror: mirrorEntity(e, func(dst *Cloud, c *tablestore.Entity) error {
+			_, err := dst.Table.Replace(tableName, c, "*")
+			return err
+		}),
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			stored, err = cl.cloud.Table.Replace(tableName, e, ifMatch)
@@ -155,6 +178,11 @@ func (cl *Client) MergeEntity(p *sim.Proc, tableName string, e *tablestore.Entit
 		part:      e.PartitionKey,
 		repl:      cl.cloud.prm.ReplCost(),
 		lat:       cl.cloud.prm.TableLat(model.TUpdate),
+		geoKey:    tableName,
+		mirror: mirrorEntity(e, func(dst *Cloud, c *tablestore.Entity) error {
+			_, err := dst.Table.Merge(tableName, c, "*")
+			return err
+		}),
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			stored, err = cl.cloud.Table.Merge(tableName, e, ifMatch)
@@ -178,6 +206,8 @@ func (cl *Client) DeleteEntity(p *sim.Proc, tableName, pk, rk, ifMatch string) e
 		part:      pk,
 		repl:      cl.cloud.prm.ReplCost(),
 		lat:       cl.cloud.prm.TableLat(model.TDelete),
+		geoKey:    tableName,
+		mirror:    func(dst *Cloud) error { return dst.Table.Delete(tableName, pk, rk, "*") },
 		apply: func() (time.Duration, int64, error) {
 			return cl.cloud.prm.TableOcc(model.TDelete, 0), 0,
 				cl.cloud.Table.Delete(tableName, pk, rk, ifMatch)
@@ -247,6 +277,8 @@ func (cl *Client) ExecuteBatch(p *sim.Proc, tableName string, ops []tablestore.B
 		repl:      time.Duration(len(ops)) * cl.cloud.prm.ReplCost(),
 		txCost:    float64(len(ops)),
 		lat:       cl.cloud.prm.TableLat(model.TInsert),
+		geoKey:    tableName,
+		mirror:    mirrorBatch(tableName, ops),
 		apply: func() (time.Duration, int64, error) {
 			var err error
 			failed, err = cl.cloud.Table.ExecuteBatch(tableName, ops)
@@ -254,4 +286,29 @@ func (cl *Client) ExecuteBatch(p *sim.Proc, tableName string, ops []tablestore.B
 		},
 	})
 	return failed, err
+}
+
+// mirrorEntity builds a replication closure over a commit-time snapshot
+// of e, so later caller-side mutation of the entity cannot leak into the
+// replayed record.
+func mirrorEntity(e *tablestore.Entity, replay func(dst *Cloud, c *tablestore.Entity) error) func(*Cloud) error {
+	c := e.Clone()
+	return func(dst *Cloud) error { return replay(dst, c) }
+}
+
+// mirrorBatch snapshots an entity-group transaction for replay on the
+// secondary: entities are cloned and ETag conditions relaxed to "*" (the
+// primary already enforced them).
+func mirrorBatch(tableName string, ops []tablestore.BatchOp) func(*Cloud) error {
+	replayOps := make([]tablestore.BatchOp, len(ops))
+	for i, op := range ops {
+		replayOps[i] = tablestore.BatchOp{Kind: op.Kind, Entity: op.Entity.Clone()}
+		if op.IfMatch != "" {
+			replayOps[i].IfMatch = "*"
+		}
+	}
+	return func(dst *Cloud) error {
+		_, err := dst.Table.ExecuteBatch(tableName, replayOps)
+		return err
+	}
 }

@@ -65,6 +65,15 @@ type Config struct {
 	HotspotHorizon time.Duration // measured window per placement mode
 	HotspotTheta   float64       // zipfian skew (0 = YCSB's 0.99)
 
+	// Geo-replication benchmark (RPO/RTO and RA-GRS staleness across a
+	// region-outage failover).
+	GeoWorkers        int             // closed-loop writer roles on the active region
+	GeoReaders        int             // RA-GRS readers polling the secondary
+	GeoHorizon        time.Duration   // full run length per lag bound
+	GeoFailoverAt     time.Duration   // primary-region outage start
+	GeoOutageDuration time.Duration   // primary-region outage length
+	GeoLagBounds      []time.Duration // replication lag bounds to sweep
+
 	// TraceOps attaches an operation log (Suite.TraceLog) to every cloud
 	// the experiments build.
 	TraceOps bool
@@ -107,6 +116,13 @@ func DefaultConfig() Config {
 		HotspotKeys:    128,
 		HotspotHorizon: 60 * time.Second,
 		HotspotTheta:   0.99,
+
+		GeoWorkers:        8,
+		GeoReaders:        4,
+		GeoHorizon:        60 * time.Second,
+		GeoFailoverAt:     20 * time.Second,
+		GeoOutageDuration: 10 * time.Second,
+		GeoLagBounds:      []time.Duration{time.Second, 5 * time.Second},
 	}
 }
 
@@ -129,6 +145,12 @@ func QuickConfig() Config {
 	cfg.HotspotWorkers = 48
 	cfg.HotspotKeys = 96
 	cfg.HotspotHorizon = 16 * time.Second
+	cfg.GeoWorkers = 4
+	cfg.GeoReaders = 2
+	cfg.GeoHorizon = 30 * time.Second
+	cfg.GeoFailoverAt = 10 * time.Second
+	cfg.GeoOutageDuration = 5 * time.Second
+	cfg.GeoLagBounds = []time.Duration{500 * time.Millisecond, 2 * time.Second}
 	return cfg
 }
 
@@ -288,6 +310,7 @@ func Experiments() []Experiment {
 		{ID: "throttle", Title: "Scalability-target throttling (ServerBusy + 1s retry)", Run: (*Suite).RunThrottle},
 		{ID: "faults", Title: "Goodput under injected faults with resilient retries", Run: (*Suite).RunFaults},
 		{ID: "hotspot", Title: "Zipfian hotspot: dynamic partition splitting vs static placement", Run: (*Suite).RunHotspot},
+		{ID: "georepl", Title: "Geo-replicated account: RPO/RTO across a region-outage failover and RA-GRS staleness", Run: (*Suite).RunGeorepl},
 		{ID: "barrier", Title: "Queue-message barrier cost (Algorithm 2)", Run: (*Suite).RunBarrier},
 		{ID: "netmodel", Title: "DES vs analytical max-min fair-share cross-check", Run: (*Suite).RunNetModel},
 		{ID: "ablation", Title: "Model ablations (replication, read fan-out, table servers, quirk)", Run: (*Suite).RunAblation},

@@ -29,6 +29,12 @@ func tinyConfig() Config {
 	cfg.HotspotWorkers = 48
 	cfg.HotspotKeys = 64
 	cfg.HotspotHorizon = 16 * time.Second
+	cfg.GeoWorkers = 2
+	cfg.GeoReaders = 2
+	cfg.GeoHorizon = 12 * time.Second
+	cfg.GeoFailoverAt = 4 * time.Second
+	cfg.GeoOutageDuration = 3 * time.Second
+	cfg.GeoLagBounds = []time.Duration{250 * time.Millisecond, time.Second}
 	return cfg
 }
 
@@ -63,7 +69,7 @@ func TestSplit(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
+	if len(exps) != 16 {
 		t.Fatalf("registry has %d experiments", len(exps))
 	}
 	seen := map[string]bool{}
@@ -76,7 +82,7 @@ func TestExperimentRegistry(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for _, id := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "throttle", "faults", "hotspot", "barrier", "netmodel", "ablation", "cache", "provision"} {
+	for _, id := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "throttle", "faults", "hotspot", "georepl", "barrier", "netmodel", "ablation", "cache", "provision"} {
 		if _, ok := Lookup(id); !ok {
 			t.Fatalf("Lookup(%s) missing", id)
 		}

@@ -21,7 +21,7 @@ func digestRun(t *testing.T, seed int64) (csvDigest, traceDigest string) {
 	s := NewSuite(cfg)
 
 	var csv bytes.Buffer
-	for _, id := range []string{"fig4", "fig7", "fig8", "faults", "hotspot"} {
+	for _, id := range []string{"fig4", "fig7", "fig8", "faults", "hotspot", "georepl"} {
 		e, ok := Lookup(id)
 		if !ok {
 			t.Fatalf("unknown experiment %q", id)

@@ -82,13 +82,21 @@ func (r Rule) matches(service, op string) bool {
 // Window is one schedule-driven partition-server outage: every request
 // routed to a matching station during [Start, Start+Duration) fails.
 type Window struct {
+	// Region scopes the window to one datacenter region ("" matches every
+	// region, which keeps single-region plans written before geo-replication
+	// existed working unchanged). A region-wide outage names the region and
+	// leaves Service/Station empty.
+	Region   string
 	Service  string        // "" matches every service
 	Station  string        // exact station name (e.g. "queue:jobs"); "" = all
 	Start    time.Duration // virtual time the outage begins
 	Duration time.Duration
 }
 
-func (w Window) covers(now time.Duration, service, station string) bool {
+func (w Window) covers(now time.Duration, region, service, station string) bool {
+	if w.Region != "" && w.Region != region {
+		return false
+	}
 	if w.Service != "" && w.Service != service {
 		return false
 	}
@@ -264,16 +272,26 @@ func (in *Injector) Schedule() string {
 }
 
 // Decide returns the fate of a request arriving now for the given
-// service/op routed to station. A nil injector never injects. Decisions
-// are drawn from the injector's private PRNG in call order, so a fixed
-// request sequence yields a fixed fault schedule.
+// service/op routed to station, in the default (unnamed) region. A nil
+// injector never injects. Decisions are drawn from the injector's private
+// PRNG in call order, so a fixed request sequence yields a fixed fault
+// schedule.
 func (in *Injector) Decide(now time.Duration, service, op, station string) Decision {
+	return in.DecideIn(now, "", service, op, station)
+}
+
+// DecideIn is Decide with an explicit region: outage windows carrying a
+// Region only cover requests arriving in that region, so one injector can
+// serve the paired clouds of a geo-replicated account. Overlapping windows
+// covering the same request still count it exactly once in Stats.Outages —
+// the first covering window decides.
+func (in *Injector) DecideIn(now time.Duration, region, service, op, station string) Decision {
 	if in == nil {
 		return Decision{}
 	}
 	in.stats.Decisions++
 	for _, w := range in.plan.Outages {
-		if w.covers(now, service, station) {
+		if w.covers(now, region, service, station) {
 			in.stats.Outages++
 			in.record(now, service, op, station, Outage)
 			return Decision{Kind: Outage}

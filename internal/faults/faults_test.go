@@ -172,3 +172,54 @@ func TestScheduleDeterminism(t *testing.T) {
 		t.Error("seed change did not change the fault schedule")
 	}
 }
+
+// TestOverlappingWindowsCountOnce pins the Stats.Outages contract: a
+// request covered by several overlapping windows on the same station is
+// one failed request and must be counted exactly once.
+func TestOverlappingWindowsCountOnce(t *testing.T) {
+	in := NewInjector(Plan{Outages: []Window{
+		{Station: "queue:jobs", Start: 10 * time.Second, Duration: 10 * time.Second},
+		{Station: "queue:jobs", Start: 15 * time.Second, Duration: 10 * time.Second},
+		{Service: "queue", Start: 12 * time.Second, Duration: 20 * time.Second},
+	}})
+	// 16s is inside all three windows.
+	if d := in.Decide(16*time.Second, "queue", "PutMessage", "queue:jobs"); d.Kind != Outage {
+		t.Fatalf("Decide inside overlap = %v, want Outage", d.Kind)
+	}
+	if got := in.Stats().Outages; got != 1 {
+		t.Errorf("Stats.Outages = %d after one covered request, want 1", got)
+	}
+	if n := len(in.Events()); n != 1 {
+		t.Errorf("Events() retained %d entries, want 1", n)
+	}
+	// A second covered request increments by exactly one again.
+	in.Decide(17*time.Second, "queue", "PutMessage", "queue:jobs")
+	if got := in.Stats().Outages; got != 2 {
+		t.Errorf("Stats.Outages = %d after two covered requests, want 2", got)
+	}
+}
+
+// TestRegionScopedWindows covers the geo-replication composition: a window
+// naming a region fails only that region's requests, a region-less window
+// fails every region, and the legacy Decide entry point is the "" region.
+func TestRegionScopedWindows(t *testing.T) {
+	in := NewInjector(Plan{Outages: []Window{
+		{Region: "primary", Start: 0, Duration: time.Minute},
+	}})
+	if d := in.DecideIn(time.Second, "primary", "queue", "PutMessage", "queue:q"); d.Kind != Outage {
+		t.Errorf("primary-region request survived a primary-region outage: %v", d.Kind)
+	}
+	if d := in.DecideIn(time.Second, "secondary", "queue", "PutMessage", "queue:q"); d.Kind != None {
+		t.Errorf("secondary-region request failed under a primary-only outage: %v", d.Kind)
+	}
+	if d := in.Decide(time.Second, "queue", "PutMessage", "queue:q"); d.Kind != None {
+		t.Errorf("region-less request failed under a primary-only outage: %v", d.Kind)
+	}
+
+	all := NewInjector(Plan{Outages: []Window{{Start: 0, Duration: time.Minute}}})
+	for _, region := range []string{"", "primary", "secondary"} {
+		if d := all.DecideIn(time.Second, region, "table", "GetEntity", "table-srv-0"); d.Kind != Outage {
+			t.Errorf("region %q escaped a region-less outage window", region)
+		}
+	}
+}

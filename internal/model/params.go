@@ -100,6 +100,25 @@ type Params struct {
 	PartitionMigrationBlackout time.Duration
 	PartitionMapCacheTTL       time.Duration
 
+	// Geo-replication (internal/georepl + the cloud geo glue). With
+	// GeoRegions <= 1 the account is single-region and none of these
+	// parameters is consulted — the simulation is byte-identical to a
+	// build without geo-replication. GeoRegions 2 pairs the account with a
+	// secondary region: mutations ship asynchronously over a WAN link with
+	// GeoWANRTT round trip and asymmetric bandwidth (forward vs failback),
+	// batched so replication staleness stays within
+	// GeoReplicationLagBound. On a region outage the failover controller
+	// waits GeoFailoverDetection (health-probe consensus) before promoting
+	// the secondary; the cross-region ownership handoff blacks ranges out
+	// for GeoPromotionBlackout via the partition-map protocol.
+	GeoRegions             int
+	GeoReplicationLagBound time.Duration
+	GeoWANRTT              time.Duration
+	GeoWANForwardBps       float64
+	GeoWANReverseBps       float64
+	GeoFailoverDetection   time.Duration
+	GeoPromotionBlackout   time.Duration
+
 	// Caching service (the §II caching artifact, future work in the paper).
 	CacheNodes        int
 	CacheNodeCapacity int64
@@ -186,6 +205,14 @@ func Default() Params {
 		PartitionControlInterval:   time.Second,
 		PartitionMigrationBlackout: 300 * time.Millisecond,
 		PartitionMapCacheTTL:       2 * time.Second,
+
+		GeoRegions:             1,
+		GeoReplicationLagBound: 5 * time.Second,
+		GeoWANRTT:              70 * time.Millisecond,
+		GeoWANForwardBps:       125 * storecommon.MB, // ~1 Gb/s provisioned egress
+		GeoWANReverseBps:       50 * storecommon.MB,  // narrower failback path
+		GeoFailoverDetection:   2 * time.Second,
+		GeoPromotionBlackout:   300 * time.Millisecond,
 
 		CacheNodes:        4,
 		CacheNodeCapacity: 128 * storecommon.MB,

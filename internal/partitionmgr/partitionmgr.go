@@ -92,6 +92,7 @@ type Stats struct {
 	Redirects      uint64 // stale-map requests bounced with PartitionMoved
 	HandoffRejects uint64 // requests rejected inside a migration blackout
 	MapRefreshes   uint64 // client partition-map snapshot fetches
+	Promotions     uint64 // failover promotions applied to this master
 	Servers        int    // partition servers currently provisioned
 	Ranges         int    // ranges across all tables
 }
@@ -272,6 +273,30 @@ func (m *Master) Lookup(table, pk string) (owner int, unavailUntil time.Duration
 	t := m.table(table)
 	_, r := t.rangeFor(pk)
 	return r.owner, r.unavailUntil
+}
+
+// Promote executes the map-side half of a geo-failover on this (secondary)
+// master: every table's map version is bumped and every range enters a
+// handoff blackout until now+blackout, modelling the ownership handoff as
+// the promoted region re-seats its partition servers. Clients converge
+// exactly as they do for an ordinary migration — stale map versions bounce
+// with PartitionMoved, blackout hits retry as handoff rejects — so no new
+// client protocol is needed. Returns the number of ranges promoted.
+func (m *Master) Promote(now time.Duration, blackout time.Duration) int {
+	ranges := 0
+	for _, name := range m.order {
+		t := m.tables[name]
+		t.version++
+		for _, r := range t.ranges {
+			until := now + blackout
+			if until > r.unavailUntil {
+				r.unavailUntil = until
+			}
+			ranges++
+		}
+	}
+	m.stats.Promotions++
+	return ranges
 }
 
 // Snapshot returns an immutable copy of the table's current map — the

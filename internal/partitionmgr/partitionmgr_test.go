@@ -200,3 +200,38 @@ func TestStaticMasterRecordsNothing(t *testing.T) {
 		t.Fatalf("static master mutated: %+v", st)
 	}
 }
+
+func TestPromoteBumpsEveryTableAndBlacksOutRanges(t *testing.T) {
+	m := New(dynCfg(), sim.NewRand(1))
+	// Two tables, the first split into two ranges.
+	drive(m, "orders", "hot", 300, 0, time.Second)
+	drive(m, "orders", "cold", 5, time.Second, 1100*time.Millisecond)
+	m.Record(1200*time.Millisecond, "orders", "hot") // tick: split
+	m.Lookup("users", "u1")
+	v1 := m.Snapshot("orders").Version
+	v2 := m.Snapshot("users").Version
+
+	now := 2 * time.Second
+	blackout := 300 * time.Millisecond
+	ranges := m.Promote(now, blackout)
+	if want := m.Snapshot("orders").Ranges() + m.Snapshot("users").Ranges(); ranges != want {
+		t.Fatalf("Promote touched %d ranges, want %d", ranges, want)
+	}
+	if got := m.Snapshot("orders").Version; got != v1+1 {
+		t.Errorf("orders version %d after promote, want %d", got, v1+1)
+	}
+	if got := m.Snapshot("users").Version; got != v2+1 {
+		t.Errorf("users version %d after promote, want %d", got, v2+1)
+	}
+	// Every range is blacked out until now+blackout.
+	for _, probe := range []struct{ table, pk string }{
+		{"orders", "hot"}, {"orders", "cold"}, {"users", "u1"},
+	} {
+		if _, until := m.Lookup(probe.table, probe.pk); until != now+blackout {
+			t.Errorf("%s/%s unavailUntil = %v, want %v", probe.table, probe.pk, until, now+blackout)
+		}
+	}
+	if m.Stats().Promotions != 1 {
+		t.Errorf("Promotions = %d, want 1", m.Stats().Promotions)
+	}
+}

@@ -309,6 +309,55 @@ func (s *Store) Delete(name, msgID, popReceipt string) error {
 	return storecommon.Errf(storecommon.CodeMessageNotFound, 404, "message %q not found", msgID)
 }
 
+// ReplicaDelete removes a message by ID without a pop receipt. It exists
+// for the geo-replication apply path: the secondary replays the primary's
+// committed DeleteMessage without ever having dequeued the message itself,
+// so no receipt can exist there. Not part of the client-facing API.
+func (s *Store) ReplicaDelete(name, msgID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return queueNotFound(name)
+	}
+	now := s.clock.Now()
+	s.reap(q, now)
+	for i, m := range q.msgs {
+		if m.id != msgID {
+			continue
+		}
+		q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+		return nil
+	}
+	return storecommon.Errf(storecommon.CodeMessageNotFound, 404, "message %q not found", msgID)
+}
+
+// ReplicaUpdate replaces a message body by ID without a pop receipt —
+// the geo-replication counterpart of Update. Visibility is left alone:
+// the secondary never saw the Get that hid the message, so the replayed
+// update only carries the content change.
+func (s *Store) ReplicaUpdate(name, msgID string, body payload.Payload) error {
+	if body.Len() > storecommon.MaxMessagePayload {
+		return storecommon.Errf(storecommon.CodeMessageTooLarge, 400, "updated message too large")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return queueNotFound(name)
+	}
+	now := s.clock.Now()
+	s.reap(q, now)
+	for _, m := range q.msgs {
+		if m.id != msgID {
+			continue
+		}
+		m.body = body
+		return nil
+	}
+	return storecommon.Errf(storecommon.CodeMessageNotFound, 404, "message %q not found", msgID)
+}
+
 // Update replaces the body of a dequeued message and resets its visibility
 // timeout, returning the new pop receipt (the 2011-era Update Message
 // API). The supplied pop receipt must be current.

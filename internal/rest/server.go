@@ -67,6 +67,9 @@ type Server struct {
 	// /statsz and via MetricsSnapshot (see stats.go).
 	statsMu sync.Mutex
 	stats   map[string]*endpointStats
+	// geoStats backs GET /stats (Get Service Stats); nil means no
+	// geo-replication is configured.
+	geoStats func() GeoStats
 }
 
 // NewServer builds an emulator with fresh engines.
@@ -105,6 +108,7 @@ func NewServer(opts Options) *Server {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/stats", s.handleServiceStats)
 	return s
 }
 

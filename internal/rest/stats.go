@@ -2,6 +2,7 @@ package rest
 
 import (
 	"encoding/json"
+	"encoding/xml"
 	"net/http"
 	"sort"
 	"strings"
@@ -116,4 +117,54 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.MetricsSnapshot())
+}
+
+// GeoStats is the account's geo-replication status, the payload behind
+// Azure's Get Service Stats operation. Status follows the service's
+// vocabulary: "live" (secondary readable and replicating), "bootstrap"
+// (initial sync in progress) or "unavailable" (no secondary).
+type GeoStats struct {
+	Status       string
+	LastSyncTime time.Time // zero unless Status is "live"
+}
+
+// SetGeoStats installs the provider queried by GET /stats. Without one
+// the endpoint reports Status "unavailable", matching an account with no
+// geo-redundancy configured.
+func (s *Server) SetGeoStats(fn func() GeoStats) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	s.geoStats = fn
+}
+
+// storageServiceStatsXML is the Get Service Stats response body.
+type storageServiceStatsXML struct {
+	XMLName        xml.Name `xml:"StorageServiceStats"`
+	GeoReplication struct {
+		Status       string `xml:"Status"`
+		LastSyncTime string `xml:"LastSyncTime"`
+	} `xml:"GeoReplication"`
+}
+
+// handleServiceStats serves the geo-replication status as Azure's
+// StorageServiceStats XML (the 2011-era Get Service Stats operation,
+// reachable on the secondary endpoint of an RA-GRS account).
+func (s *Server) handleServiceStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodNotAllowed(w, r)
+		return
+	}
+	s.statsMu.Lock()
+	fn := s.geoStats
+	s.statsMu.Unlock()
+	gs := GeoStats{Status: "unavailable"}
+	if fn != nil {
+		gs = fn()
+	}
+	var body storageServiceStatsXML
+	body.GeoReplication.Status = gs.Status
+	if gs.Status == "live" && !gs.LastSyncTime.IsZero() {
+		body.GeoReplication.LastSyncTime = gs.LastSyncTime.UTC().Format(http.TimeFormat)
+	}
+	writeXML(w, http.StatusOK, body)
 }

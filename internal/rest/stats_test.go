@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestEndpointKey(t *testing.T) {
@@ -149,5 +150,47 @@ func TestMetricsSnapshotIsACopy(t *testing.T) {
 	if again[0].Latency.Count() != snap[0].Latency.Count()-1 {
 		t.Fatalf("snapshot shares state: live=%d mutated=%d",
 			again[0].Latency.Count(), snap[0].Latency.Count())
+	}
+}
+
+func TestServiceStatsUnavailableByDefault(t *testing.T) {
+	srv := NewServer(Options{})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats = %d", resp.StatusCode)
+	}
+	text := string(body)
+	if !strings.Contains(text, "<Status>unavailable</Status>") {
+		t.Errorf("default stats body = %s, want unavailable status", text)
+	}
+	if strings.Contains(text, "<LastSyncTime>") && !strings.Contains(text, "<LastSyncTime></LastSyncTime>") {
+		t.Errorf("unavailable account reports a LastSyncTime: %s", text)
+	}
+}
+
+func TestServiceStatsLive(t *testing.T) {
+	srv := NewServer(Options{})
+	sync := time.Date(2011, time.January, 19, 22, 28, 43, 0, time.UTC)
+	srv.SetGeoStats(func() GeoStats { return GeoStats{Status: "live", LastSyncTime: sync} })
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{"<Status>live</Status>", "<LastSyncTime>Wed, 19 Jan 2011 22:28:43 GMT</LastSyncTime>"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("live stats body = %s, missing %s", text, want)
+		}
 	}
 }

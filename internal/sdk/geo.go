@@ -1,0 +1,47 @@
+package sdk
+
+import (
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ServiceStats is the account's geo-replication status as reported by the
+// emulator's Get Service Stats operation (GET /stats): the Status string
+// ("live", "bootstrap" or "unavailable") and, when live, the LastSyncTime
+// marker — all primary writes up to that instant are readable from the
+// secondary.
+type ServiceStats struct {
+	Status       string
+	LastSyncTime time.Time // zero unless Status is "live"
+}
+
+// GetServiceStats queries the endpoint's geo-replication status. On an
+// RA-GRS account this is meaningful against the secondary endpoint, where
+// LastSyncTime bounds the staleness of every read.
+func (c *Client) GetServiceStats() (ServiceStats, error) {
+	resp, err := c.do(request{method: http.MethodGet, path: "/stats"})
+	if err != nil {
+		return ServiceStats{}, err
+	}
+	var body struct {
+		XMLName        xml.Name `xml:"StorageServiceStats"`
+		GeoReplication struct {
+			Status       string `xml:"Status"`
+			LastSyncTime string `xml:"LastSyncTime"`
+		} `xml:"GeoReplication"`
+	}
+	if err := xml.Unmarshal(resp.body, &body); err != nil {
+		return ServiceStats{}, fmt.Errorf("sdk: decoding service stats: %w", err)
+	}
+	out := ServiceStats{Status: body.GeoReplication.Status}
+	if raw := body.GeoReplication.LastSyncTime; raw != "" {
+		t, err := time.Parse(http.TimeFormat, raw)
+		if err != nil {
+			return ServiceStats{}, fmt.Errorf("sdk: bad LastSyncTime %q: %w", raw, err)
+		}
+		out.LastSyncTime = t
+	}
+	return out, nil
+}

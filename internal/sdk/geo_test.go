@@ -1,0 +1,40 @@
+package sdk
+
+import (
+	"testing"
+	"time"
+
+	"azurebench/internal/rest"
+)
+
+func TestGetServiceStatsUnavailable(t *testing.T) {
+	c, _ := newStack(t, rest.Options{})
+	st, err := c.GetServiceStats()
+	if err != nil {
+		t.Fatalf("GetServiceStats: %v", err)
+	}
+	if st.Status != "unavailable" {
+		t.Errorf("status = %q, want unavailable", st.Status)
+	}
+	if !st.LastSyncTime.IsZero() {
+		t.Errorf("LastSyncTime = %v, want zero", st.LastSyncTime)
+	}
+}
+
+func TestGetServiceStatsLiveRoundTrip(t *testing.T) {
+	c, srv := newStack(t, rest.Options{})
+	sync := time.Date(2011, time.January, 19, 22, 28, 43, 0, time.UTC)
+	srv.SetGeoStats(func() rest.GeoStats {
+		return rest.GeoStats{Status: "live", LastSyncTime: sync}
+	})
+	st, err := c.GetServiceStats()
+	if err != nil {
+		t.Fatalf("GetServiceStats: %v", err)
+	}
+	if st.Status != "live" {
+		t.Errorf("status = %q, want live", st.Status)
+	}
+	if !st.LastSyncTime.Equal(sync) {
+		t.Errorf("LastSyncTime = %v, want %v", st.LastSyncTime, sync)
+	}
+}

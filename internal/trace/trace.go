@@ -28,6 +28,7 @@ const (
 	StageNicOut       = "nic-out"       // response travel + downlink NIC transfer
 	StageFaultWait    = "fault-wait"    // waiting out an injected network timeout
 	StageHandoff      = "handoff"       // rejected inside a partition-migration blackout
+	StageWAN          = "wan"           // inter-region WAN transit of a geo-replication batch
 )
 
 // StageOrder returns the canonical pipeline ordering of span stages.
@@ -35,7 +36,7 @@ func StageOrder() []string {
 	return []string{
 		StageRetryBackoff, StageNicIn, StageThrottle, StageQueueWait,
 		StageServer, StageReplicate, StagePipeline, StageNicOut,
-		StageFaultWait, StageHandoff,
+		StageFaultWait, StageHandoff, StageWAN,
 	}
 }
 
