@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-smoke bench results quick examples check clean
+.PHONY: all build vet lint test race fuzz-smoke bench results quick scenarios examples check clean
 
 all: build vet lint test
 
@@ -45,6 +45,12 @@ results:
 
 quick:
 	$(GO) run ./cmd/azurebench -quick
+
+# Run the declarative scenario library at quick scale with SLO gating —
+# the local mirror of the CI scenario matrix (exits non-zero on any SLO
+# failure).
+scenarios:
+	$(GO) run ./cmd/azurebench -quick -digest -scenario-dir examples/scenarios
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -14,6 +14,12 @@
 //	azurebench -telemetry                 # station timelines under the figures
 //	azurebench -statsfile stats.jsonl     # export telemetry samples as JSONL
 //	azurebench -experiment georepl -regions 2 -geolag 500ms,5s -failoverat 20s
+//	azurebench -scenario flashcrowd.yaml  # run a declarative scenario file
+//	azurebench -scenario-dir examples/scenarios -quick   # run a whole library
+//	azurebench -digest                    # print each report's content digest
+//
+// Scenario runs exit non-zero when any SLO assertion fails, so a scenario
+// file doubles as a CI gate.
 package main
 
 import (
@@ -21,30 +27,35 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"azurebench/internal/core"
+	"azurebench/internal/scenario"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id(s), comma separated, or 'all'")
-		quick      = flag.Bool("quick", false, "run the reduced-scale configuration")
-		listOnly   = flag.Bool("list", false, "list experiments and exit")
-		csv        = flag.Bool("csv", false, "also print CSV data blocks")
-		seed       = flag.Int64("seed", 0, "override simulation seed (0 = default)")
-		workers    = flag.String("workers", "", "override worker sweep, e.g. 1,8,64")
-		traceOps   = flag.Bool("trace", false, "print per-operation and per-stage trace summaries after each experiment")
-		traceFile  = flag.String("tracefile", "", "write every traced operation as JSONL to this file (implies -trace collection)")
-		telemetry  = flag.Bool("telemetry", false, "sample station telemetry and render timelines with the figures")
-		statsFile  = flag.String("statsfile", "", "write telemetry samples as JSONL to this file (implies -telemetry)")
-		outDir     = flag.String("o", "", "also write per-experiment .txt and .csv files into this directory")
-		faultRates = flag.String("faultrates", "", "override the faults experiment's rate sweep, e.g. 0,0.01,0.05")
-		regions    = flag.Int("regions", 0, "override the georepl experiment's region count (2 enables geo-replication)")
-		geoLag     = flag.String("geolag", "", "override the georepl lag-bound sweep, e.g. 500ms,2s,5s")
-		failoverAt = flag.String("failoverat", "", "override when the georepl primary-region outage starts, e.g. 20s")
+		experiment  = flag.String("experiment", "all", "experiment id(s), comma separated, or 'all'")
+		quick       = flag.Bool("quick", false, "run the reduced-scale configuration")
+		listOnly    = flag.Bool("list", false, "list experiments and exit")
+		csv         = flag.Bool("csv", false, "also print CSV data blocks")
+		seed        = flag.Int64("seed", 0, "override simulation seed (0 = default)")
+		workers     = flag.String("workers", "", "override worker sweep, e.g. 1,8,64")
+		traceOps    = flag.Bool("trace", false, "print per-operation and per-stage trace summaries after each experiment")
+		traceFile   = flag.String("tracefile", "", "write every traced operation as JSONL to this file (implies -trace collection)")
+		telemetry   = flag.Bool("telemetry", false, "sample station telemetry and render timelines with the figures")
+		statsFile   = flag.String("statsfile", "", "write telemetry samples as JSONL to this file (implies -telemetry)")
+		outDir      = flag.String("o", "", "also write per-experiment .txt and .csv files into this directory")
+		faultRates  = flag.String("faultrates", "", "override the faults experiment's rate sweep, e.g. 0,0.01,0.05")
+		regions     = flag.Int("regions", 0, "override the georepl experiment's region count (2 enables geo-replication)")
+		geoLag      = flag.String("geolag", "", "override the georepl lag-bound sweep, e.g. 500ms,2s,5s")
+		failoverAt  = flag.String("failoverat", "", "override when the georepl primary-region outage starts, e.g. 20s")
+		scenarios   = flag.String("scenario", "", "scenario file(s) to run, comma separated (see examples/scenarios)")
+		scenarioDir = flag.String("scenario-dir", "", "run every *.yaml scenario in this directory, sorted by name")
+		digest      = flag.Bool("digest", false, "print each report's content digest (sha256 over figure CSVs)")
 	)
 	flag.Parse()
 
@@ -98,70 +109,197 @@ func main() {
 		}
 		cfg.GeoFailoverAt = at
 	}
-	suite := core.NewSuite(cfg)
 
-	var traceOut *os.File
+	out := &output{
+		csv:     *csv,
+		digest:  *digest,
+		trace:   *traceOps,
+		outDir:  *outDir,
+		verdict: true,
+	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fatalf("creating -tracefile: %v", err)
 		}
-		traceOut = f
-		defer traceOut.Close()
-	}
-
-	ids := strings.Split(*experiment, ",")
-	if *experiment == "all" {
-		ids = nil
-		for _, e := range core.Experiments() {
-			ids = append(ids, e.ID)
-		}
-	}
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		exp, ok := core.Lookup(id)
-		if !ok {
-			fatalf("unknown experiment %q (try -list)", id)
-		}
-		rep := exp.Run(suite)
-		fmt.Println(rep.Render())
-		if *outDir != "" {
-			if err := writeReport(*outDir, rep); err != nil {
-				fatalf("writing %s report: %v", id, err)
-			}
-		}
-		if log := suite.TraceLog(); log != nil {
-			if *traceOps {
-				fmt.Printf("--- operation trace: %s ---\n%s\n", id, log.Summary())
-				fmt.Printf("--- stage attribution: %s ---\n%s\n", id, log.StageSummary())
-			}
-			if traceOut != nil {
-				// Mark each experiment's section so one JSONL file holds
-				// the whole run.
-				fmt.Fprintf(traceOut, "{\"experiment\":%q}\n", id)
-				if err := log.WriteJSONL(traceOut); err != nil {
-					fatalf("writing -tracefile: %v", err)
-				}
-			}
-			log.Reset()
-		}
-		if *csv {
-			for _, fig := range rep.Figures {
-				fmt.Printf("--- csv: %s ---\n%s\n", fig.Title, fig.CSV())
-			}
-		}
+		out.traceOut = f
+		defer f.Close()
 	}
 	if *statsFile != "" {
 		f, err := os.Create(*statsFile)
 		if err != nil {
 			fatalf("creating -statsfile: %v", err)
 		}
-		if err := suite.WriteStats(f); err != nil {
-			fatalf("writing -statsfile: %v", err)
-		}
-		if err := f.Close(); err != nil {
+		out.statsOut = f
+	}
+
+	if *scenarios != "" || *scenarioDir != "" {
+		paths := scenarioPaths(*scenarios, *scenarioDir)
+		runScenarios(cfg, paths, scenario.Options{Quick: *quick}, out)
+	} else {
+		runExperiments(cfg, *experiment, out)
+	}
+
+	if out.statsOut != nil {
+		if err := out.statsOut.Close(); err != nil {
 			fatalf("closing -statsfile: %v", err)
 		}
+	}
+	if !out.verdict {
+		os.Exit(1)
+	}
+}
+
+// scenarioPaths expands -scenario and -scenario-dir into a file list.
+func scenarioPaths(list, dir string) []string {
+	var paths []string
+	if list != "" {
+		for _, p := range strings.Split(list, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				fatalf("bad -scenario: empty path in %q", list)
+			}
+			paths = append(paths, p)
+		}
+	}
+	if dir != "" {
+		glob, err := filepath.Glob(filepath.Join(dir, "*.yaml"))
+		if err != nil || len(glob) == 0 {
+			fatalf("-scenario-dir %s: no *.yaml scenarios found", dir)
+		}
+		sort.Strings(glob)
+		paths = append(paths, glob...)
+	}
+	return paths
+}
+
+// runExperiments runs registered experiments on one shared suite. All ids
+// are validated before anything runs, so a typo late in the list cannot
+// waste a long run.
+func runExperiments(cfg core.Config, list string, out *output) {
+	ids := strings.Split(list, ",")
+	if list == "all" {
+		ids = nil
+		for _, e := range core.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	var unknown []string
+	for i, id := range ids {
+		ids[i] = strings.TrimSpace(id)
+		if ids[i] == "" {
+			fatalf("bad -experiment: empty id in %q", list)
+		}
+		if _, ok := core.Lookup(ids[i]); !ok {
+			unknown = append(unknown, strconv.Quote(ids[i]))
+		}
+	}
+	if len(unknown) > 0 {
+		var valid []string
+		for _, e := range core.Experiments() {
+			valid = append(valid, e.ID)
+		}
+		fatalf("unknown experiment(s) %s (valid: %s)",
+			strings.Join(unknown, ", "), strings.Join(valid, ", "))
+	}
+	suite := core.NewSuite(cfg)
+	for _, id := range ids {
+		exp, _ := core.Lookup(id)
+		rep := exp.Run(suite)
+		out.emit(suite, rep, "")
+	}
+	out.stats(suite)
+}
+
+// runScenarios loads and runs each scenario on its own suite (a scenario
+// may patch the configuration, and isolation keeps digests comparable to
+// single-experiment runs).
+func runScenarios(base core.Config, paths []string, opts scenario.Options, out *output) {
+	// Load everything first: a broken file fails fast, before any run.
+	specs := make([]*scenario.Spec, len(paths))
+	for i, path := range paths {
+		sp, err := scenario.Load(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		specs[i] = sp
+	}
+	for i, sp := range specs {
+		cfg := base
+		sp.Apply(&cfg)
+		suite := core.NewSuite(cfg)
+		res, err := scenario.Run(suite, sp, opts)
+		if err != nil {
+			fatalf("%s: %v", paths[i], err)
+		}
+		verdict := ""
+		if len(res.SLO) > 0 {
+			verdict = res.RenderSLO()
+			if !res.Passed() {
+				out.verdict = false
+			}
+		}
+		out.emit(suite, res.Report, verdict)
+		out.stats(suite)
+	}
+}
+
+// output is the shared per-report sink: rendering, SLO verdicts, digests,
+// trace summaries/JSONL, CSV blocks and -o exports all live here so
+// experiment and scenario runs emit identically-shaped artifacts.
+type output struct {
+	csv      bool
+	digest   bool
+	trace    bool
+	outDir   string
+	traceOut *os.File
+	statsOut *os.File
+	verdict  bool // false once any scenario SLO fails
+}
+
+func (o *output) emit(suite *core.Suite, rep *core.Report, verdict string) {
+	fmt.Println(rep.Render())
+	if verdict != "" {
+		fmt.Print(verdict)
+	}
+	if o.digest {
+		fmt.Printf("digest %s %s\n", rep.ID, rep.CSVDigest())
+	}
+	if o.outDir != "" {
+		if err := writeReport(o.outDir, rep); err != nil {
+			fatalf("writing %s report: %v", rep.ID, err)
+		}
+	}
+	if log := suite.TraceLog(); log != nil {
+		if o.trace {
+			fmt.Printf("--- operation trace: %s ---\n%s\n", rep.ID, log.Summary())
+			fmt.Printf("--- stage attribution: %s ---\n%s\n", rep.ID, log.StageSummary())
+		}
+		if o.traceOut != nil {
+			// Mark each report's section so one JSONL file holds the whole
+			// run.
+			fmt.Fprintf(o.traceOut, "{\"experiment\":%q}\n", rep.ID)
+			if err := log.WriteJSONL(o.traceOut); err != nil {
+				fatalf("writing -tracefile: %v", err)
+			}
+		}
+		log.Reset()
+	}
+	if o.csv {
+		for _, fig := range rep.Figures {
+			fmt.Printf("--- csv: %s ---\n%s\n", fig.Title, fig.CSV())
+		}
+	}
+}
+
+// stats appends the suite's telemetry samples to -statsfile (scenario
+// suites are per-file, so records accumulate in run order).
+func (o *output) stats(suite *core.Suite) {
+	if o.statsOut == nil {
+		return
+	}
+	if err := suite.WriteStats(o.statsOut); err != nil {
+		fatalf("writing -statsfile: %v", err)
 	}
 }
 

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Delta is one benchmark compared across two reports.
+type Delta struct {
+	Key        string  // pkg + name + procs, the match identity
+	OldNs      float64 // ns/op in the baseline
+	NewNs      float64 // ns/op in the candidate
+	Pct        float64 // (new-old)/old * 100
+	Regression bool    // Pct exceeds the threshold
+}
+
+// benchKey is the identity benchmarks are matched on across runs.
+func benchKey(b Benchmark) string {
+	return fmt.Sprintf("%s.%s-%d", b.Pkg, b.Name, b.Procs)
+}
+
+// Compare matches benchmarks between a baseline and a candidate report by
+// package+name+procs and flags every ns/op slowdown above thresholdPct.
+// Benchmarks present on only one side are reported but never fail the
+// comparison (suites grow and shrink legitimately). Zero-ns entries are
+// skipped: they carry no timing signal.
+func Compare(old, cur *Report, thresholdPct float64) (deltas []Delta, onlyOld, onlyNew []string) {
+	base := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		base[benchKey(b)] = b
+	}
+	seen := map[string]bool{}
+	for _, b := range cur.Benchmarks {
+		key := benchKey(b)
+		seen[key] = true
+		ob, ok := base[key]
+		if !ok {
+			onlyNew = append(onlyNew, key)
+			continue
+		}
+		if ob.NsPerOp <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		pct := (b.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		deltas = append(deltas, Delta{
+			Key:        key,
+			OldNs:      ob.NsPerOp,
+			NewNs:      b.NsPerOp,
+			Pct:        pct,
+			Regression: pct > thresholdPct,
+		})
+	}
+	for _, b := range old.Benchmarks {
+		if key := benchKey(b); !seen[key] {
+			onlyOld = append(onlyOld, key)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Key < deltas[j].Key })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// RenderCompare formats the comparison, worst regressions flagged, and
+// reports whether the candidate passes the threshold.
+func RenderCompare(deltas []Delta, onlyOld, onlyNew []string, thresholdPct float64) (string, bool) {
+	var b strings.Builder
+	pass := true
+	for _, d := range deltas {
+		mark := "  "
+		if d.Regression {
+			mark = "!!"
+			pass = false
+		}
+		fmt.Fprintf(&b, "%s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
+			mark, d.Key, d.OldNs, d.NewNs, d.Pct)
+	}
+	for _, k := range onlyOld {
+		fmt.Fprintf(&b, "-- %-60s only in baseline\n", k)
+	}
+	for _, k := range onlyNew {
+		fmt.Fprintf(&b, "++ %-60s only in candidate\n", k)
+	}
+	if pass {
+		fmt.Fprintf(&b, "PASS: no benchmark slowed down more than %g%%\n", thresholdPct)
+	} else {
+		fmt.Fprintf(&b, "FAIL: benchmarks marked !! slowed down more than %g%%\n", thresholdPct)
+	}
+	return b.String(), pass
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(benches ...Benchmark) *Report { return &Report{Benchmarks: benches} }
+
+func bench(pkg, name string, procs int, ns float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Procs: procs, NsPerOp: ns}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := rep(
+		bench("azurebench/internal/core", "Fig4", 8, 1000),
+		bench("azurebench/internal/core", "Fig6", 8, 2000),
+		bench("azurebench/internal/core", "Gone", 8, 500),
+	)
+	cur := rep(
+		bench("azurebench/internal/core", "Fig4", 8, 1200),  // +20%: within threshold
+		bench("azurebench/internal/core", "Fig6", 8, 2600),  // +30%: regression
+		bench("azurebench/internal/core", "Fresh", 8, 9999), // new benchmark
+	)
+	deltas, onlyOld, onlyNew := Compare(old, cur, 25)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if deltas[0].Key != "azurebench/internal/core.Fig4-8" || deltas[0].Regression {
+		t.Errorf("Fig4 delta wrong: %+v", deltas[0])
+	}
+	if !deltas[1].Regression || deltas[1].Pct < 29 || deltas[1].Pct > 31 {
+		t.Errorf("Fig6 should regress ~30%%: %+v", deltas[1])
+	}
+	if len(onlyOld) != 1 || !strings.Contains(onlyOld[0], "Gone") {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || !strings.Contains(onlyNew[0], "Fresh") {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+
+	text, pass := RenderCompare(deltas, onlyOld, onlyNew, 25)
+	if pass {
+		t.Error("comparison with a regression passed")
+	}
+	for _, want := range []string{"!!", "FAIL", "only in baseline", "only in candidate", "+30.0%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	old := rep(bench("p", "A", 1, 1000), bench("p", "B", 1, 1000))
+	cur := rep(bench("p", "A", 1, 1240), bench("p", "B", 1, 400)) // +24%, -60%
+	deltas, onlyOld, onlyNew := Compare(old, cur, 25)
+	text, pass := RenderCompare(deltas, onlyOld, onlyNew, 25)
+	if !pass {
+		t.Errorf("within-threshold comparison failed:\n%s", text)
+	}
+	if !strings.Contains(text, "PASS") {
+		t.Errorf("rendering missing PASS:\n%s", text)
+	}
+}
+
+func TestCompareDistinguishesProcsAndPkg(t *testing.T) {
+	// Same name, different procs/pkg must not match each other.
+	old := rep(bench("p1", "A", 1, 100), bench("p1", "A", 8, 100))
+	cur := rep(bench("p1", "A", 1, 100), bench("p2", "A", 8, 100))
+	deltas, onlyOld, onlyNew := Compare(old, cur, 25)
+	if len(deltas) != 1 || deltas[0].Key != "p1.A-1" {
+		t.Errorf("deltas = %+v", deltas)
+	}
+	if len(onlyOld) != 1 || len(onlyNew) != 1 {
+		t.Errorf("onlyOld=%v onlyNew=%v", onlyOld, onlyNew)
+	}
+}
+
+func TestCompareSkipsZeroNs(t *testing.T) {
+	old := rep(bench("p", "A", 1, 0))
+	cur := rep(bench("p", "A", 1, 500))
+	deltas, _, _ := Compare(old, cur, 25)
+	if len(deltas) != 0 {
+		t.Errorf("zero-ns baseline should be skipped: %+v", deltas)
+	}
+}

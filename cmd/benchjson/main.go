@@ -6,6 +6,13 @@
 //
 // Input lines are echoed to stderr as they arrive so the (long) bench
 // run stays visible while piping.
+//
+// With -compare, two archived reports are diffed instead (no stdin):
+//
+//	go run ./cmd/benchjson -compare -threshold 25 old.json new.json
+//
+// exits non-zero when any benchmark's ns/op regressed by more than the
+// threshold percentage — the CI bench-regression gate.
 package main
 
 import (
@@ -18,7 +25,32 @@ import (
 
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two JSON reports (baseline, candidate) instead of reading stdin")
+	threshold := flag.Float64("threshold", 25, "with -compare: maximum tolerated ns/op slowdown in percent")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: baseline.json candidate.json")
+			os.Exit(2)
+		}
+		old, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		text, pass := RenderCompare(compareReports(old, cur, *threshold))
+		fmt.Print(text)
+		if !pass {
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep, err := Parse(io.TeeReader(os.Stdin, os.Stderr))
 	if err != nil {
@@ -41,4 +73,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: bench run reported FAIL")
 		os.Exit(1)
 	}
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareReports adapts Compare's results to RenderCompare's signature so
+// main can chain the two calls.
+func compareReports(old, cur *Report, threshold float64) ([]Delta, []string, []string, float64) {
+	deltas, onlyOld, onlyNew := Compare(old, cur, threshold)
+	return deltas, onlyOld, onlyNew, threshold
 }

@@ -145,6 +145,7 @@ var simFacingSegments = map[string]bool{
 	"georepl":      true,
 	"netmodel":     true,
 	"partitionmgr": true,
+	"scenario":     true,
 	"telemetry":    true,
 	"trace":        true,
 }

@@ -39,6 +39,7 @@ func TestScopes(t *testing.T) {
 		"azurebench/internal/model":        true,
 		"azurebench/internal/faults":       true,
 		"azurebench/internal/partitionmgr": true,
+		"azurebench/internal/scenario":     true,
 		"azurebench/internal/retry":        false,
 		"azurebench/internal/sdk":          false,
 		"azurebench/internal/rest":         false,

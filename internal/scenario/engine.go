@@ -1,0 +1,837 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"azurebench/internal/cloud"
+	"azurebench/internal/core"
+	"azurebench/internal/faults"
+	"azurebench/internal/metrics"
+	"azurebench/internal/model"
+	"azurebench/internal/payload"
+	"azurebench/internal/retry"
+	"azurebench/internal/sim"
+	"azurebench/internal/storecommon"
+	"azurebench/internal/tablestore"
+	"azurebench/internal/workload"
+)
+
+// Options tunes a scenario run.
+type Options struct {
+	// Quick divides workload-phase durations by quickDivisor (floor 1s),
+	// mirroring core.QuickConfig's ~1/10-scale smoke runs. Experiment-
+	// driver scenarios are unaffected: their scale comes from the base
+	// core.Config, which the CLI already swaps for QuickConfig.
+	Quick bool
+}
+
+const quickDivisor = 4
+
+// Result is one executed scenario: the familiar experiment Report, the
+// flat metric map SLOs are evaluated against, and the verdicts.
+type Result struct {
+	Spec    *Spec
+	Report  *core.Report
+	Metrics map[string]float64
+	SLO     []SLOResult
+}
+
+// Passed reports whether every SLO assertion held.
+func (r *Result) Passed() bool {
+	for _, s := range r.SLO {
+		if !s.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderSLO formats the scenario's SLO verdicts (empty when the spec
+// asserts nothing).
+func (r *Result) RenderSLO() string {
+	return RenderSLOs(r.SLO, r.Metrics)
+}
+
+// Apply folds the spec's config/params overrides into a base
+// configuration. Call it before core.NewSuite; a patch-free spec leaves
+// cfg untouched, which is what makes experiment-driver scenarios
+// byte-identical to their hard-coded twins.
+func (sp *Spec) Apply(cfg *core.Config) {
+	if sp.Seed != 0 {
+		cfg.Seed = sp.Seed
+	}
+	cp := sp.Config
+	if cp.Workers != nil {
+		cfg.Workers = append([]int(nil), cp.Workers...)
+	}
+	if cp.SharedMsgSizeKB != nil {
+		cfg.SharedMsgSizeKB = *cp.SharedMsgSizeKB
+	}
+	if cp.FaultRates != nil {
+		cfg.FaultRates = append([]float64(nil), cp.FaultRates...)
+	}
+	if cp.FaultWorkers != nil {
+		cfg.FaultWorkers = *cp.FaultWorkers
+	}
+	if cp.FaultRounds != nil {
+		cfg.FaultRounds = *cp.FaultRounds
+	}
+	if cp.HotspotWorkers != nil {
+		cfg.HotspotWorkers = *cp.HotspotWorkers
+	}
+	if cp.HotspotKeys != nil {
+		cfg.HotspotKeys = *cp.HotspotKeys
+	}
+	if cp.HotspotHorizon != nil {
+		cfg.HotspotHorizon = *cp.HotspotHorizon
+	}
+	if cp.HotspotTheta != nil {
+		cfg.HotspotTheta = *cp.HotspotTheta
+	}
+	if cp.GeoWorkers != nil {
+		cfg.GeoWorkers = *cp.GeoWorkers
+	}
+	if cp.GeoReaders != nil {
+		cfg.GeoReaders = *cp.GeoReaders
+	}
+	if cp.GeoHorizon != nil {
+		cfg.GeoHorizon = *cp.GeoHorizon
+	}
+	if cp.GeoFailoverAt != nil {
+		cfg.GeoFailoverAt = *cp.GeoFailoverAt
+	}
+	if cp.GeoOutage != nil {
+		cfg.GeoOutageDuration = *cp.GeoOutage
+	}
+	if cp.GeoLagBounds != nil {
+		cfg.GeoLagBounds = append([]time.Duration(nil), cp.GeoLagBounds...)
+	}
+	pp := sp.Params
+	if pp.TableServers != nil {
+		cfg.Params.TableServers = *pp.TableServers
+	}
+	if pp.PartitionDynamic != nil {
+		cfg.Params.PartitionDynamic = *pp.PartitionDynamic
+	}
+	if pp.MaxTableServers != nil {
+		cfg.Params.MaxTableServers = *pp.MaxTableServers
+	}
+	if pp.PartitionSplitOpsPerSec != nil {
+		cfg.Params.PartitionSplitOpsPerSec = *pp.PartitionSplitOpsPerSec
+	}
+	if pp.PartitionMergeOpsPerSec != nil {
+		cfg.Params.PartitionMergeOpsPerSec = *pp.PartitionMergeOpsPerSec
+	}
+	if pp.PartitionControlInterval != nil {
+		cfg.Params.PartitionControlInterval = *pp.PartitionControlInterval
+	}
+	if pp.PartitionMigrationBlackout != nil {
+		cfg.Params.PartitionMigrationBlackout = *pp.PartitionMigrationBlackout
+	}
+	if pp.PartitionMapCacheTTL != nil {
+		cfg.Params.PartitionMapCacheTTL = *pp.PartitionMapCacheTTL
+	}
+	if pp.GeoRegions != nil {
+		cfg.Params.GeoRegions = *pp.GeoRegions
+	}
+	if pp.GeoLagBound != nil {
+		cfg.Params.GeoReplicationLagBound = *pp.GeoLagBound
+	}
+}
+
+// Run executes the scenario against a suite whose configuration already
+// has sp.Apply'd overrides folded in.
+func Run(s *core.Suite, sp *Spec, opts Options) (*Result, error) {
+	var rep *core.Report
+	var m map[string]float64
+	switch sp.Driver {
+	case "experiment":
+		exp, ok := core.Lookup(sp.Experiment)
+		if !ok {
+			var ids []string
+			for _, e := range core.Experiments() {
+				ids = append(ids, e.ID)
+			}
+			return nil, fmt.Errorf("scenario %q: unknown experiment %q (valid: %s)",
+				sp.Name, sp.Experiment, strings.Join(ids, ", "))
+		}
+		rep = exp.Run(s)
+		m = flattenReport(rep)
+	case "workload":
+		var err error
+		rep, m, err = runWorkload(s, sp, opts)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("scenario %q: unsupported driver %q", sp.Name, sp.Driver)
+	}
+	return &Result{
+		Spec:    sp,
+		Report:  rep,
+		Metrics: m,
+		SLO:     EvaluateSLOs(sp.SLOs, m),
+	}, nil
+}
+
+// flattenReport exposes figure series as SLO-addressable aggregates:
+// fig<N>.<series>.{min,max,mean,first,last,count}, N 1-based in figure
+// order.
+func flattenReport(rep *core.Report) map[string]float64 {
+	m := map[string]float64{}
+	for i, fig := range rep.Figures {
+		for _, se := range fig.Series {
+			if len(se.Points) == 0 {
+				continue
+			}
+			minV, maxV, sum := se.Points[0].Y, se.Points[0].Y, 0.0
+			for _, pt := range se.Points {
+				if pt.Y < minV {
+					minV = pt.Y
+				}
+				if pt.Y > maxV {
+					maxV = pt.Y
+				}
+				sum += pt.Y
+			}
+			prefix := fmt.Sprintf("fig%d.%s.", i+1, se.Name)
+			m[prefix+"min"] = minV
+			m[prefix+"max"] = maxV
+			m[prefix+"mean"] = sum / float64(len(se.Points))
+			m[prefix+"first"] = se.Points[0].Y
+			m[prefix+"last"] = se.Points[len(se.Points)-1].Y
+			m[prefix+"count"] = float64(len(se.Points))
+		}
+	}
+	return m
+}
+
+// scenarioRetryPolicy is the discipline every workload-driver client runs
+// under: resilient enough to ride out migration blackouts and injected
+// outages, bounded so persistent failures surface as error counts (which
+// SLO assertions can then gate on) rather than hangs.
+func scenarioRetryPolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts: 8,
+		BaseDelay:   100 * time.Millisecond,
+		Multiplier:  2,
+		MaxDelay:    2 * time.Second,
+		Jitter:      0.2,
+		Deadline:    30 * time.Second,
+	}
+}
+
+// claimVisibility is the GetMessage claim duration for queue_get ops.
+const claimVisibility = 30 * time.Second
+
+// phaseStats accumulates one phase's outcome.
+type phaseStats struct {
+	phase      Phase
+	start, end time.Duration // virtual
+	perSec     []int
+	lat        metrics.Dist
+	completed  int
+	errors     int
+	misses     int
+	dispatched int // open arrivals only
+	opCounts   []int
+}
+
+// claim is one undeleted queue_get receipt, consumed by queue_delete.
+type claim struct {
+	id, receipt string
+}
+
+// clientState is the per-client mutable workload state.
+type clientState struct {
+	cl        *cloud.Client
+	claims    []claim
+	insertSeq int
+}
+
+// engine executes the workload driver's phases on one cloud.
+type engine struct {
+	sp   *Spec
+	env  *sim.Env
+	c    *cloud.Cloud
+	seed int64
+}
+
+// runWorkload executes a workload-driver scenario and returns the report
+// plus the flat metric map.
+func runWorkload(s *core.Suite, sp *Spec, opts Options) (*core.Report, map[string]float64, error) {
+	wall := core.WallTimer()
+	env, c := s.ScenarioCloud()
+	seed := s.Config().Seed
+	eng := &engine{sp: sp, env: env, c: c, seed: seed}
+
+	if f := sp.Faults; f != nil {
+		plan := faults.Uniform(seed, f.Rate)
+		if f.Timeout > 0 {
+			plan.Timeout = f.Timeout
+		}
+		for _, o := range f.Outages {
+			plan.Outages = append(plan.Outages, faults.Window{
+				Service:  o.Service,
+				Station:  o.Station,
+				Start:    o.Start,
+				Duration: o.Duration,
+			})
+		}
+		c.SetFaults(faults.NewInjector(plan))
+	}
+
+	eng.setup()
+	s.ScenarioSample(env, c, sp.Name)
+
+	var phases []*phaseStats
+	for i, ph := range sp.Phases {
+		if opts.Quick {
+			ph.Duration /= quickDivisor
+			if ph.Duration < time.Second {
+				ph.Duration = time.Second
+			}
+		}
+		phases = append(phases, eng.runPhase(i, ph))
+	}
+
+	rec := s.ScenarioRecordPartitions("scenario/"+sp.Name, c)
+	st := c.Stats()
+
+	title := sp.Title
+	if title == "" {
+		title = "Scenario " + sp.Name
+	}
+	throughput := metrics.Figure{
+		Title:  fmt.Sprintf("Scenario %s: completed ops over time", sp.Name),
+		XLabel: "virtual time (s)",
+		YLabel: "ops/s",
+	}
+	latency := metrics.Figure{
+		Title:  fmt.Sprintf("Scenario %s: latency percentiles per phase", sp.Name),
+		XLabel: "phase",
+		YLabel: "latency (ms)",
+	}
+	m := map[string]float64{}
+	var notes []string
+	var totalOps, totalErrors, totalMisses int
+	var measured time.Duration
+	for i, ps := range phases {
+		for sec, n := range ps.perSec {
+			throughput.AddPoint(ps.phase.Name, ps.start.Seconds()+float64(sec), float64(n))
+		}
+		x := float64(i + 1)
+		latency.AddPoint("p50", x, ms(ps.lat.Percentile(50)))
+		latency.AddPoint("p95", x, ms(ps.lat.Percentile(95)))
+		latency.AddPoint("p99", x, ms(ps.lat.Percentile(99)))
+
+		dur := ps.end - ps.start
+		goodput := 0.0
+		if dur > 0 {
+			goodput = float64(ps.completed) / dur.Seconds()
+		}
+		p := ps.phase.Name
+		m[p+".ops"] = float64(ps.completed)
+		m[p+".errors"] = float64(ps.errors)
+		m[p+".misses"] = float64(ps.misses)
+		m[p+".goodput"] = goodput
+		m[p+".mean_ms"] = ms(ps.lat.Mean())
+		m[p+".p50_ms"] = ms(ps.lat.Percentile(50))
+		m[p+".p95_ms"] = ms(ps.lat.Percentile(95))
+		m[p+".p99_ms"] = ms(ps.lat.Percentile(99))
+		m[p+".max_ms"] = ms(ps.lat.Max())
+		for j, ow := range ps.phase.Ops {
+			m[p+".ops."+ow.Op] = float64(ps.opCounts[j])
+		}
+		totalOps += ps.completed
+		totalErrors += ps.errors
+		totalMisses += ps.misses
+		measured += dur
+
+		var ctr metrics.Counters
+		ctr.Add("ops completed", float64(ps.completed))
+		ctr.Add("goodput ops/s", goodput)
+		ctr.Add("errors (retries exhausted)", float64(ps.errors))
+		ctr.Add("misses (not found / empty)", float64(ps.misses))
+		if ps.phase.Arrival.Kind != "closed" {
+			ctr.Add("ops dispatched", float64(ps.dispatched))
+		}
+		ctr.Add("latency p50 ms", ms(ps.lat.Percentile(50)))
+		ctr.Add("latency p95 ms", ms(ps.lat.Percentile(95)))
+		ctr.Add("latency p99 ms", ms(ps.lat.Percentile(99)))
+		for j, ow := range ps.phase.Ops {
+			ctr.Add("  "+ow.Op, float64(ps.opCounts[j]))
+		}
+		notes = append(notes, fmt.Sprintf(
+			"phase %s (%s arrival, %d clients, %v at virtual %v..%v):\n%s",
+			p, ps.phase.Arrival.Kind, ps.phase.Clients, dur,
+			ps.start.Round(time.Millisecond), ps.end.Round(time.Millisecond), ctr.Render()))
+	}
+	m["total.ops"] = float64(totalOps)
+	m["total.errors"] = float64(totalErrors)
+	m["total.misses"] = float64(totalMisses)
+	if measured > 0 {
+		m["total.goodput"] = float64(totalOps) / measured.Seconds()
+	}
+	m["total.retries"] = float64(st.Retries)
+	m["total.busy_rejects"] = float64(st.BusyRejects)
+	m["total.splits"] = float64(rec.Splits)
+	m["total.merges"] = float64(rec.Merges)
+	m["total.migrations"] = float64(rec.Migrations)
+	m["total.partition_servers"] = float64(rec.Servers)
+	if in := c.Faults(); in != nil {
+		m["total.faults_injected"] = float64(in.Stats().Injected())
+	}
+
+	rep := &core.Report{
+		ID:      sp.Name,
+		Title:   title,
+		Figures: []metrics.Figure{throughput, latency},
+		Notes:   notes,
+		Wall:    wall(),
+	}
+	// Figure aggregates are addressable too (fig1.<phase>.max etc.);
+	// engine-produced names win on collision, though prefixes keep the two
+	// namespaces disjoint in practice.
+	for k, v := range flattenReport(rep) {
+		if _, exists := m[k]; !exists {
+			m[k] = v
+		}
+	}
+	return rep, m, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// setup creates and preloads the declared storage objects, then drains
+// the simulation so phase 0 starts on a quiet cloud.
+func (e *engine) setup() {
+	sp := e.sp
+	cl := e.c.NewClient("setup", e.vmSize())
+	cl.SetRetryPolicy(scenarioRetryPolicy())
+	e.env.Go("setup", func(p *sim.Proc) {
+		for _, t := range sp.Setup.Tables {
+			t := t
+			must(p, cl, "create table "+t.Name, func() error {
+				_, err := cl.CreateTableIfNotExists(p, t.Name)
+				return err
+			})
+			for i := 0; i < t.Keys; i++ {
+				ent := &tablestore.Entity{
+					PartitionKey: workload.Key(i),
+					RowKey:       "row",
+					Props: map[string]tablestore.Value{
+						"Data": tablestore.Binary(payload.Synthetic(uint64(e.seed)+uint64(i), int64(t.EntityKB)*storecommon.KB)),
+					},
+				}
+				must(p, cl, "insert entity", func() error {
+					_, err := cl.InsertEntity(p, t.Name, ent)
+					return err
+				})
+			}
+		}
+		for _, q := range sp.Setup.Queues {
+			q := q
+			must(p, cl, "create queue "+q.Name, func() error {
+				_, err := cl.CreateQueueIfNotExists(p, q.Name)
+				return err
+			})
+			for i := 0; i < q.Preload; i++ {
+				body := payload.Synthetic(uint64(e.seed)^uint64(i)*0x9E3779B97F4A7C15, int64(q.MessageKB)*storecommon.KB)
+				must(p, cl, "preload message", func() error {
+					_, err := cl.PutMessage(p, q.Name, body)
+					return err
+				})
+			}
+		}
+		for _, ct := range sp.Setup.Containers {
+			ct := ct
+			must(p, cl, "create container "+ct.Name, func() error {
+				_, err := cl.CreateContainerIfNotExists(p, ct.Name)
+				return err
+			})
+			for i := 0; i < ct.Blobs; i++ {
+				data := payload.Synthetic(uint64(e.seed)^uint64(i)*0x9E3779B97F4A7C15, int64(ct.BlobKB)*storecommon.KB)
+				must(p, cl, "preload blob", func() error {
+					return cl.UploadBlockBlob(p, ct.Name, workload.Key(i), data)
+				})
+			}
+		}
+	})
+	e.env.Run()
+}
+
+// vmSize picks the worker VM; scenarios run the paper's Small roles.
+func (e *engine) vmSize() model.VMSize { return model.Small }
+
+// must panics on a persistent setup error — the simulation is
+// deterministic, so this is a spec/engine bug, not flakiness.
+func must(p *sim.Proc, cl *cloud.Client, what string, op func() error) {
+	if _, err := cl.Retry(p, scenarioRetryPolicy(), op); err != nil {
+		panic(fmt.Sprintf("scenario setup: %s: %v", what, err))
+	}
+}
+
+// phaseSalt derives a deterministic per-phase RNG stream.
+func (e *engine) phaseSalt(phase int) int64 {
+	return e.seed ^ (int64(phase+1) * 0x61C8864680B583EB)
+}
+
+// runPhase executes one phase and drains its stragglers.
+func (e *engine) runPhase(idx int, ph Phase) *phaseStats {
+	start := e.env.Now()
+	end := start + ph.Duration
+	ps := &phaseStats{
+		phase:    ph,
+		start:    start,
+		perSec:   make([]int, int(ph.Duration/time.Second)+1),
+		opCounts: make([]int, len(ph.Ops)),
+	}
+
+	states := make([]*clientState, ph.Clients)
+	for k := range states {
+		cl := e.c.NewClient(fmt.Sprintf("%s-c%d", ph.Name, k), e.vmSize())
+		cl.SetRetryPolicy(scenarioRetryPolicy())
+		states[k] = &clientState{cl: cl}
+	}
+
+	totalWeight := 0
+	for _, ow := range ph.Ops {
+		totalWeight += ow.Weight
+	}
+
+	switch ph.Arrival.Kind {
+	case "closed":
+		for k := range states {
+			k := k
+			st := states[k]
+			rng := sim.NewRand(e.phaseSalt(idx) ^ (int64(k+1) << 20))
+			ch := newChooser(ph.Keys, sim.NewRand(e.phaseSalt(idx)^(int64(k+1)<<21)), start)
+			e.env.Go(fmt.Sprintf("%s-c%d", ph.Name, k), func(p *sim.Proc) {
+				for p.Now() < end {
+					kind, ki := e.choose(ph, rng, ch, totalWeight, p.Now())
+					e.execOne(p, ps, st, ph, kind, ki)
+					if ph.Arrival.Think > 0 {
+						p.Sleep(ph.Arrival.Think)
+					}
+				}
+			})
+		}
+	case "poisson":
+		e.dispatchOpen(idx, ph, ps, states, totalWeight, start, end, func(p *sim.Proc, rng *sim.Rand) time.Duration {
+			lam := ph.Arrival.Rate
+			if d := ph.Arrival.Diurnal; d != nil {
+				t := (p.Now() - start).Seconds()
+				lam *= 1 + d.Amplitude*math.Sin(2*math.Pi*t/d.Period.Seconds())
+			}
+			if lam < 1e-9 {
+				// Rate bottomed out (amplitude 1 trough): idle briefly and
+				// re-evaluate the sinusoid.
+				return 50 * time.Millisecond
+			}
+			return time.Duration(rng.ExpFloat64() / lam * float64(time.Second))
+		})
+	case "burst":
+		b := ph.Arrival.Burst
+		e.dispatchBurst(idx, ph, ps, states, totalWeight, start, end, b)
+	}
+	e.env.Run()
+	ps.end = e.env.Now()
+	if ps.end < end {
+		// Open arrivals can drain early; the phase still occupies its slot.
+		ps.end = end
+	}
+	return ps
+}
+
+// dispatchOpen runs an open arrival process: a dispatcher draws
+// inter-arrival gaps and spawns one process per op, round-robining ops
+// over the client pool.
+func (e *engine) dispatchOpen(idx int, ph Phase, ps *phaseStats, states []*clientState,
+	totalWeight int, start, end time.Duration, gap func(*sim.Proc, *sim.Rand) time.Duration) {
+	rng := sim.NewRand(e.phaseSalt(idx) ^ 0x0D15)
+	ch := newChooser(ph.Keys, sim.NewRand(e.phaseSalt(idx)^0x0D16), start)
+	e.env.Go(ph.Name+"-dispatch", func(p *sim.Proc) {
+		for {
+			p.Sleep(gap(p, rng))
+			if p.Now() >= end {
+				return
+			}
+			kind, ki := e.choose(ph, rng, ch, totalWeight, p.Now())
+			st := states[ps.dispatched%len(states)]
+			name := fmt.Sprintf("%s-op%d", ph.Name, ps.dispatched)
+			ps.dispatched++
+			e.env.Go(name, func(q *sim.Proc) {
+				e.execOne(q, ps, st, ph, kind, ki)
+			})
+		}
+	})
+}
+
+// dispatchBurst fires Size simultaneous ops at phase start and then every
+// Every until the phase ends.
+func (e *engine) dispatchBurst(idx int, ph Phase, ps *phaseStats, states []*clientState,
+	totalWeight int, start, end time.Duration, b *Burst) {
+	rng := sim.NewRand(e.phaseSalt(idx) ^ 0x0D17)
+	ch := newChooser(ph.Keys, sim.NewRand(e.phaseSalt(idx)^0x0D18), start)
+	e.env.Go(ph.Name+"-dispatch", func(p *sim.Proc) {
+		for p.Now() < end {
+			for j := 0; j < b.Size; j++ {
+				kind, ki := e.choose(ph, rng, ch, totalWeight, p.Now())
+				st := states[ps.dispatched%len(states)]
+				name := fmt.Sprintf("%s-op%d", ph.Name, ps.dispatched)
+				ps.dispatched++
+				e.env.Go(name, func(q *sim.Proc) {
+					e.execOne(q, ps, st, ph, kind, ki)
+				})
+			}
+			p.Sleep(b.Every)
+		}
+	})
+}
+
+// choose draws the next (op kind index, key index) pair.
+func (e *engine) choose(ph Phase, rng *sim.Rand, ch *chooser, totalWeight int, now time.Duration) (int, int) {
+	v := rng.Intn(totalWeight)
+	kind := 0
+	for i, ow := range ph.Ops {
+		if v < ow.Weight {
+			kind = i
+			break
+		}
+		v -= ow.Weight
+	}
+	n := e.keyspace(ph, ph.Ops[kind].Op)
+	return kind, ch.next(n, now)
+}
+
+// keyspace returns the record population the op addresses.
+func (e *engine) keyspace(ph Phase, op string) int {
+	switch opService(op) {
+	case "table":
+		for _, t := range e.sp.Setup.Tables {
+			if t.Name == ph.Target.Table {
+				return t.Keys
+			}
+		}
+	case "blob":
+		for _, ct := range e.sp.Setup.Containers {
+			if ct.Name == ph.Target.Container {
+				if ct.Blobs > 0 {
+					return ct.Blobs
+				}
+				return 1
+			}
+		}
+	}
+	return 1 // queues are keyless
+}
+
+// chooser implements the key distributions.
+type chooser struct {
+	spec   KeyDist
+	rng    *sim.Rand
+	zipf   *workload.Zipf
+	flipAt time.Duration // absolute virtual time; 0 = never
+}
+
+func newChooser(spec KeyDist, rng *sim.Rand, phaseStart time.Duration) *chooser {
+	c := &chooser{spec: spec, rng: rng}
+	switch spec.Dist {
+	case "zipfian", "hotflip":
+		c.zipf = workload.NewZipf(rng, spec.Theta)
+	}
+	if spec.Dist == "hotflip" {
+		c.flipAt = phaseStart + spec.FlipAt
+	}
+	return c
+}
+
+func (c *chooser) next(n int, now time.Duration) int {
+	if n <= 1 {
+		if c.zipf == nil {
+			return 0
+		}
+		// Keep the stream position moving so hotflip/zipfian draws stay
+		// aligned regardless of population.
+		c.zipf.Next(2)
+		return 0
+	}
+	switch c.spec.Dist {
+	case "zipfian":
+		return c.zipf.Next(n)
+	case "hotflip":
+		rank := c.zipf.Next(n)
+		if c.flipAt > 0 && now >= c.flipAt {
+			return n - 1 - rank
+		}
+		return rank
+	default:
+		return c.rng.Intn(n)
+	}
+}
+
+// execOne runs a single operation, recording latency/throughput on
+// success and error counts on retry exhaustion.
+func (e *engine) execOne(p *sim.Proc, ps *phaseStats, st *clientState, ph Phase, kind, keyIdx int) {
+	began := p.Now()
+	miss, err := e.perform(p, st, ph, ph.Ops[kind].Op, keyIdx)
+	if err != nil {
+		ps.errors++
+		return
+	}
+	ps.completed++
+	ps.opCounts[kind]++
+	if miss {
+		ps.misses++
+	}
+	ps.lat.Add(p.Now() - began)
+	if sec := int((p.Now() - ps.start) / time.Second); sec >= 0 && sec < len(ps.perSec) {
+		ps.perSec[sec]++
+	}
+}
+
+// perform executes one op kind against the phase's targets. Expected
+// data-dependent conditions (NotFound, empty queue, stale claims,
+// conflicting inserts) count as misses, not errors.
+func (e *engine) perform(p *sim.Proc, st *clientState, ph Phase, op string, keyIdx int) (miss bool, err error) {
+	cl := st.cl
+	size := int64(ph.PayloadKB) * storecommon.KB
+	data := payload.Synthetic(uint64(e.seed)^uint64(keyIdx)*0x9E3779B97F4A7C15, size)
+	_, err = cl.WithRetry(p, func() error {
+		miss = false
+		switch op {
+		case "blob_put":
+			return cl.UploadBlockBlob(p, ph.Target.Container, workload.Key(keyIdx), data)
+		case "blob_get":
+			_, gerr := cl.Download(p, ph.Target.Container, workload.Key(keyIdx))
+			if storecommon.IsNotFound(gerr) {
+				miss = true
+				return nil
+			}
+			return gerr
+		case "queue_put":
+			_, perr := cl.PutMessage(p, ph.Target.Queue, data)
+			return perr
+		case "queue_get":
+			msg, ok, gerr := cl.GetMessage(p, ph.Target.Queue, claimVisibility)
+			if gerr != nil {
+				return gerr
+			}
+			if !ok {
+				miss = true
+				return nil
+			}
+			st.claims = append(st.claims, claim{id: msg.ID, receipt: msg.PopReceipt})
+			return nil
+		case "queue_delete":
+			if len(st.claims) == 0 {
+				// Nothing claimed yet: claim-and-delete in one op.
+				msg, ok, gerr := cl.GetMessage(p, ph.Target.Queue, claimVisibility)
+				if gerr != nil {
+					return gerr
+				}
+				if !ok {
+					miss = true
+					return nil
+				}
+				st.claims = append(st.claims, claim{id: msg.ID, receipt: msg.PopReceipt})
+			}
+			cm := st.claims[0]
+			st.claims = st.claims[1:]
+			derr := cl.DeleteMessage(p, ph.Target.Queue, cm.id, cm.receipt)
+			if storecommon.IsNotFound(derr) || storecommon.IsPreconditionFailed(derr) {
+				// The claim expired and the message was redelivered —
+				// at-least-once in action.
+				miss = true
+				return nil
+			}
+			return derr
+		case "table_get":
+			_, gerr := cl.GetEntity(p, ph.Target.Table, workload.Key(keyIdx), "row")
+			if storecommon.IsNotFound(gerr) {
+				miss = true
+				return nil
+			}
+			return gerr
+		case "table_insert":
+			ent := e.entity(workload.Key(keyIdx), fmt.Sprintf("r%d", st.insertSeq), data)
+			_, ierr := cl.InsertEntity(p, ph.Target.Table, ent)
+			if storecommon.IsConflict(ierr) {
+				miss = true
+				return nil
+			}
+			if ierr == nil {
+				st.insertSeq++
+			}
+			return ierr
+		case "table_update":
+			_, uerr := cl.UpdateEntity(p, ph.Target.Table, e.entity(workload.Key(keyIdx), "row", data), "*")
+			if storecommon.IsNotFound(uerr) {
+				miss = true
+				return nil
+			}
+			return uerr
+		case "table_delete":
+			derr := cl.DeleteEntity(p, ph.Target.Table, workload.Key(keyIdx), "row", "*")
+			if storecommon.IsNotFound(derr) {
+				miss = true
+				// Recreate regardless: keep the population stable.
+			} else if derr != nil {
+				return derr
+			}
+			_, ierr := cl.InsertEntity(p, ph.Target.Table, e.entity(workload.Key(keyIdx), "row", data))
+			if storecommon.IsConflict(ierr) {
+				return nil // someone else recreated it first
+			}
+			return ierr
+		case "table_rmw":
+			got, gerr := cl.GetEntity(p, ph.Target.Table, workload.Key(keyIdx), "row")
+			if storecommon.IsNotFound(gerr) {
+				miss = true
+				return nil
+			}
+			if gerr != nil {
+				return gerr
+			}
+			upd := e.entity(got.PartitionKey, got.RowKey, data)
+			_, uerr := cl.UpdateEntity(p, ph.Target.Table, upd, "*")
+			if storecommon.IsNotFound(uerr) || storecommon.IsPreconditionFailed(uerr) {
+				miss = true
+				return nil
+			}
+			return uerr
+		}
+		return fmt.Errorf("scenario: unknown op %q", op)
+	})
+	return miss, err
+}
+
+func (e *engine) entity(pk, rk string, data payload.Payload) *tablestore.Entity {
+	return &tablestore.Entity{
+		PartitionKey: pk,
+		RowKey:       rk,
+		Props: map[string]tablestore.Value{
+			"Data": tablestore.Binary(data),
+		},
+	}
+}
+
+// RenderMetrics formats the flat metric map sorted by name — the
+// deterministic form tests and -o exports rely on.
+func RenderMetrics(m map[string]float64) string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%s = %s\n", k, trimFloat(m[k]))
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"azurebench/internal/core"
+)
+
+// tinySpec exercises every service, all three arrival processes and all
+// three key distributions in a few virtual seconds.
+const tinySpec = `
+name: tiny
+title: Engine smoke scenario
+driver: workload
+setup:
+  tables:
+    - name: usertable
+      keys: 32
+      entity_kb: 1
+  queues:
+    - name: workq
+      preload: 8
+  containers:
+    - name: blobs
+      blobs: 8
+      blob_kb: 4
+phases:
+  - name: warm
+    duration: 3s
+    clients: 4
+    arrival:
+      kind: closed
+      think: 50ms
+    ops:
+      table_get: 70
+      table_update: 20
+      table_rmw: 10
+    keys:
+      dist: zipfian
+      theta: 0.9
+    target:
+      table: usertable
+  - name: open
+    duration: 3s
+    clients: 2
+    arrival:
+      kind: poisson
+      rate: 40
+      diurnal:
+        period: 2s
+        amplitude: 0.5
+    ops:
+      queue_put: 40
+      queue_get: 30
+      queue_delete: 30
+    target:
+      queue: workq
+  - name: spikes
+    duration: 3s
+    clients: 2
+    arrival:
+      kind: burst
+      burst:
+        size: 10
+        every: 1s
+    ops:
+      blob_put: 30
+      blob_get: 70
+    keys:
+      dist: hotflip
+      flip_at: 1500ms
+    target:
+      container: blobs
+    payload_kb: 4
+slo:
+  - metric: warm.ops
+    op: ">"
+    value: 0
+  - metric: open.errors
+    op: "=="
+    value: 0
+  - metric: total.goodput
+    op: ">"
+    value: 1
+`
+
+func tinySuite(t *testing.T, seed int64) *core.Suite {
+	t.Helper()
+	cfg := core.QuickConfig()
+	cfg.Seed = seed
+	cfg.TraceOps = true
+	return core.NewSuite(cfg)
+}
+
+func runTiny(t *testing.T, seed int64) *Result {
+	t.Helper()
+	sp, err := Parse([]byte(tinySpec))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(tinySuite(t, seed), sp, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestWorkloadEngineRuns(t *testing.T) {
+	res := runTiny(t, 42)
+	if res.Report == nil || len(res.Report.Figures) != 2 {
+		t.Fatalf("want 2 figures, got %+v", res.Report)
+	}
+	for _, key := range []string{
+		"warm.ops", "warm.p95_ms", "warm.goodput", "warm.ops.table_get",
+		"open.ops", "open.ops.queue_put", "spikes.ops", "spikes.ops.blob_get",
+		"total.ops", "total.goodput", "total.retries",
+		"fig1.warm.count",
+	} {
+		if _, ok := res.Metrics[key]; !ok {
+			t.Errorf("metric %q missing\nhave:\n%s", key, RenderMetrics(res.Metrics))
+		}
+	}
+	if res.Metrics["warm.ops"] <= 0 || res.Metrics["open.ops"] <= 0 || res.Metrics["spikes.ops"] <= 0 {
+		t.Fatalf("phases did no work:\n%s", RenderMetrics(res.Metrics))
+	}
+	if !res.Passed() {
+		t.Fatalf("SLOs failed:\n%s", res.RenderSLO())
+	}
+	if !strings.Contains(res.RenderSLO(), "SLO PASS warm.ops > 0") {
+		t.Errorf("unexpected SLO rendering:\n%s", res.RenderSLO())
+	}
+}
+
+func TestWorkloadEngineDeterministic(t *testing.T) {
+	a := runTiny(t, 7)
+	b := runTiny(t, 7)
+	if da, db := a.Report.CSVDigest(), b.Report.CSVDigest(); da != db {
+		t.Errorf("same seed, different digests: %s vs %s", da, db)
+	}
+	if RenderMetrics(a.Metrics) != RenderMetrics(b.Metrics) {
+		t.Errorf("same seed, different metrics:\n%s\nvs\n%s",
+			RenderMetrics(a.Metrics), RenderMetrics(b.Metrics))
+	}
+	c := runTiny(t, 8)
+	if a.Report.CSVDigest() == c.Report.CSVDigest() {
+		t.Error("different seeds produced identical digests")
+	}
+}
+
+func TestQuickScalesPhases(t *testing.T) {
+	sp, err := Parse([]byte(tinySpec))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(tinySuite(t, 42), sp, Options{Quick: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// 3s phases shrink to 1s (floor): the whole run stays under the
+	// full-scale 9 virtual seconds.
+	full := runTiny(t, 42)
+	if res.Metrics["total.ops"] >= full.Metrics["total.ops"] {
+		t.Errorf("quick run did at least as much work as full run (%v >= %v)",
+			res.Metrics["total.ops"], full.Metrics["total.ops"])
+	}
+}
+
+func TestSLOFailureDetected(t *testing.T) {
+	src := strings.Replace(tinySpec, "metric: warm.ops\n    op: \">\"\n    value: 0",
+		"metric: warm.ops\n    op: \"<\"\n    value: 0", 1)
+	sp, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(tinySuite(t, 42), sp, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Passed() {
+		t.Fatal("impossible SLO passed")
+	}
+	if !strings.Contains(res.RenderSLO(), "SLO FAIL warm.ops < 0") {
+		t.Errorf("unexpected SLO rendering:\n%s", res.RenderSLO())
+	}
+}
+
+func TestSLOMissingMetricFails(t *testing.T) {
+	sp, err := Parse([]byte(tinySpec))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp.SLOs = []Assertion{{Metric: "warm.p95_mss", Op: "<=", Value: 1e9}}
+	res, err := Run(tinySuite(t, 42), sp, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Passed() {
+		t.Fatal("assertion on a missing metric passed")
+	}
+	if out := res.RenderSLO(); !strings.Contains(out, "metric not produced") || !strings.Contains(out, "warm.p95_ms") {
+		t.Errorf("missing-metric rendering should suggest near names:\n%s", out)
+	}
+}

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"path/filepath"
+	"testing"
+
+	"azurebench/internal/core"
+)
+
+const examplesDir = "../../examples/scenarios"
+
+// traceDigest exports the suite's op trace as JSONL and hashes it.
+func traceDigest(t *testing.T, s *core.Suite) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.TraceLog().WriteJSONL(&buf); err != nil {
+		t.Fatalf("exporting trace: %v", err)
+	}
+	h := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(h[:])
+}
+
+// TestExperimentScenarioByteIdentical is the tentpole equivalence
+// guarantee: an experiment-driver scenario file with no config/params
+// overrides produces byte-identical CSV figures AND byte-identical op
+// traces to running the hard-coded experiment directly. The declarative
+// layer adds zero noise.
+func TestExperimentScenarioByteIdentical(t *testing.T) {
+	for _, id := range []string{"faults", "hotspot"} {
+		t.Run(id, func(t *testing.T) {
+			sp, err := Load(filepath.Join(examplesDir, id+".yaml"))
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if sp.Driver != "experiment" || sp.Experiment != id {
+				t.Fatalf("expected an experiment-driver twin of %q, got %+v", id, sp)
+			}
+
+			base := core.QuickConfig()
+			base.TraceOps = true
+
+			// Declarative run.
+			cfg := base
+			sp.Apply(&cfg)
+			ssuite := core.NewSuite(cfg)
+			res, err := Run(ssuite, sp, Options{Quick: true})
+			if err != nil {
+				t.Fatalf("scenario run: %v", err)
+			}
+
+			// Hard-coded run.
+			exp, ok := core.Lookup(id)
+			if !ok {
+				t.Fatalf("unknown experiment %q", id)
+			}
+			hsuite := core.NewSuite(base)
+			rep := exp.Run(hsuite)
+
+			if got, want := res.Report.CSVDigest(), rep.CSVDigest(); got != want {
+				t.Errorf("CSV digest mismatch: scenario %s vs experiment %s", got, want)
+			}
+			if got, want := traceDigest(t, ssuite), traceDigest(t, hsuite); got != want {
+				t.Errorf("trace digest mismatch: scenario %s vs experiment %s", got, want)
+			}
+		})
+	}
+}
+
+// TestExampleScenariosPassSLOs runs the shipped library end to end at
+// quick scale — the same gate the CI scenario matrix applies. A new
+// example with an uncalibrated SLO fails here before it flakes in CI.
+func TestExampleScenariosPassSLOs(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(examplesDir, "*.yaml"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example scenarios (err=%v)", err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("scenario library shrank below the CI matrix minimum: %v", files)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			sp, err := Load(file)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if len(sp.SLOs) == 0 {
+				t.Fatal("example scenarios must assert SLOs (they double as CI gates)")
+			}
+			cfg := core.QuickConfig()
+			sp.Apply(&cfg)
+			res, err := Run(core.NewSuite(cfg), sp, Options{Quick: true})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !res.Passed() {
+				t.Errorf("SLO failures:\n%s", res.RenderSLO())
+			}
+		})
+	}
+}

@@ -1,0 +1,285 @@
+// Package scenario is the declarative workload DSL (ROADMAP item 3, the
+// NDBench / Cloud WorkBench direction): a scenario file describes phases,
+// client populations, arrival processes, op mixes, key distributions,
+// fault plans, geo/partition knobs and SLO assertions, and compiles onto
+// the existing deterministic core/cloud/sim machinery. Every scenario
+// emits the same Report/trace/telemetry outputs as the hard-coded
+// experiments, so the two stay byte-for-byte comparable.
+//
+// Specs are written in a small YAML subset decoded by this package
+// without any external dependency: indentation-nested maps, block lists
+// ("- item"), inline scalar lists ("[1, 8, 64]"), "#" comments and
+// double-quoted strings. Anchors, multi-line scalars, flow maps and tabs
+// are deliberately out of scope — a spec that needs them is trying to be
+// a program, and programs belong in Go.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// nodeKind discriminates the decoded value tree.
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	listNode
+)
+
+// node is one value in the decoded tree. Scalars stay strings; typed
+// conversion happens in the spec decoder where the field name (and thus
+// the expected type) is known.
+type node struct {
+	kind nodeKind
+	line int // 1-based source line, for error messages
+
+	scalar  string
+	mapKeys []string // insertion order, so errors are deterministic
+	mapVals map[string]*node
+	list    []*node
+}
+
+// srcLine is one significant source line after comment stripping.
+type srcLine struct {
+	indent int
+	text   string // content with indentation removed
+	num    int    // 1-based line number
+}
+
+// parseYAML decodes src into a root map node.
+func parseYAML(src []byte) (*node, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return &node{kind: mapNode, mapVals: map[string]*node{}}, nil
+	}
+	if lines[0].indent != 0 {
+		return nil, fmt.Errorf("line %d: top-level content must not be indented", lines[0].num)
+	}
+	p := &parser{lines: lines}
+	root, err := p.parseMap(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("line %d: unexpected content %q", p.lines[p.pos].num, p.lines[p.pos].text)
+	}
+	return root, nil
+}
+
+// splitLines strips comments and blank lines, computes indentation, and
+// rejects tabs (YAML forbids them in indentation; we forbid them anywhere
+// leading for simplicity).
+func splitLines(src []byte) ([]srcLine, error) {
+	var out []srcLine
+	for i, raw := range strings.Split(string(src), "\n") {
+		line := stripComment(raw)
+		trimmed := strings.TrimRight(line, " \r")
+		body := strings.TrimLeft(trimmed, " ")
+		if body == "" {
+			continue
+		}
+		indent := len(trimmed) - len(body)
+		if strings.HasPrefix(body, "\t") {
+			return nil, fmt.Errorf("line %d: tab indentation is not supported (use spaces)", i+1)
+		}
+		out = append(out, srcLine{indent: indent, text: body, num: i + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "# ..." comment, respecting
+// double-quoted strings.
+func stripComment(line string) string {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote && (i == 0 || line[i-1] == ' ') {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+type parser struct {
+	lines []srcLine
+	pos   int
+}
+
+// parseMap consumes "key: value" lines at exactly indent, recursing into
+// nested blocks.
+func (p *parser) parseMap(indent int) (*node, error) {
+	n := &node{kind: mapNode, mapVals: map[string]*node{}, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, fmt.Errorf("line %d: unexpected indentation", ln.num)
+			}
+			break // end of this block
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, fmt.Errorf("line %d: list item where a \"key: value\" entry was expected", ln.num)
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := n.mapVals[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", ln.num, key)
+		}
+		p.pos++
+		var val *node
+		if rest != "" {
+			val, err = scalarOrInlineList(rest, ln.num)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			val, err = p.parseBlockValue(indent, ln.num)
+			if err != nil {
+				return nil, err
+			}
+		}
+		n.mapKeys = append(n.mapKeys, key)
+		n.mapVals[key] = val
+	}
+	return n, nil
+}
+
+// parseBlockValue parses the value of a "key:" line with nothing after
+// the colon: a deeper-indented map or list, or a list at the same indent
+// as the key (list items cannot be confused with sibling keys).
+func (p *parser) parseBlockValue(keyIndent, keyLine int) (*node, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("line %d: key has no value", keyLine)
+	}
+	ln := p.lines[p.pos]
+	isItem := strings.HasPrefix(ln.text, "- ") || ln.text == "-"
+	switch {
+	case ln.indent > keyIndent && isItem:
+		return p.parseList(ln.indent)
+	case ln.indent > keyIndent:
+		return p.parseMap(ln.indent)
+	case ln.indent == keyIndent && isItem:
+		return p.parseList(ln.indent)
+	default:
+		return nil, fmt.Errorf("line %d: key has no value", keyLine)
+	}
+}
+
+// parseList consumes "- ..." items at exactly indent.
+func (p *parser) parseList(indent int) (*node, error) {
+	n := &node{kind: listNode, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent || !(strings.HasPrefix(ln.text, "- ") || ln.text == "-") {
+			if ln.indent > indent {
+				return nil, fmt.Errorf("line %d: unexpected indentation", ln.num)
+			}
+			break
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		itemCol := ln.indent + 2 // column where "- " content starts
+		if body == "" {
+			// "-" alone: the item is the following deeper block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("line %d: empty list item", ln.num)
+			}
+			item, err := p.parseMapOrList(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			n.list = append(n.list, item)
+			continue
+		}
+		if _, _, err := splitKey(srcLine{text: body, num: ln.num}); err == nil {
+			// "- key: value": a map item. Re-enter the map parser with the
+			// inline first entry re-indented to the item column.
+			p.lines[p.pos] = srcLine{indent: itemCol, text: body, num: ln.num}
+			item, err := p.parseMap(itemCol)
+			if err != nil {
+				return nil, err
+			}
+			n.list = append(n.list, item)
+			continue
+		}
+		p.pos++
+		item, err := scalarOrInlineList(body, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		n.list = append(n.list, item)
+	}
+	return n, nil
+}
+
+func (p *parser) parseMapOrList(indent int) (*node, error) {
+	ln := p.lines[p.pos]
+	if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+// splitKey splits "key: rest" / "key:". Keys are bare words (letters,
+// digits, '_', '-', '.').
+func splitKey(ln srcLine) (key, rest string, err error) {
+	i := strings.Index(ln.text, ":")
+	if i <= 0 {
+		return "", "", fmt.Errorf("line %d: expected \"key: value\", got %q", ln.num, ln.text)
+	}
+	key = ln.text[:i]
+	for _, r := range key {
+		if !(r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return "", "", fmt.Errorf("line %d: invalid key %q", ln.num, key)
+		}
+	}
+	rest = strings.TrimSpace(ln.text[i+1:])
+	if rest != "" && !strings.HasPrefix(ln.text[i+1:], " ") {
+		return "", "", fmt.Errorf("line %d: missing space after %q:", ln.num, key)
+	}
+	return key, rest, nil
+}
+
+// scalarOrInlineList turns the text after "key: " into a scalar node or,
+// for "[a, b, c]", a list of scalars.
+func scalarOrInlineList(text string, line int) (*node, error) {
+	if strings.HasPrefix(text, "[") {
+		if !strings.HasSuffix(text, "]") {
+			return nil, fmt.Errorf("line %d: unterminated inline list %q", line, text)
+		}
+		n := &node{kind: listNode, line: line}
+		inner := strings.TrimSpace(text[1 : len(text)-1])
+		if inner == "" {
+			return n, nil
+		}
+		for _, part := range strings.Split(inner, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return nil, fmt.Errorf("line %d: empty element in inline list %q", line, text)
+			}
+			n.list = append(n.list, &node{kind: scalarNode, scalar: unquote(part), line: line})
+		}
+		return n, nil
+	}
+	return &node{kind: scalarNode, scalar: unquote(text), line: line}, nil
+}
+
+// unquote removes matching double quotes.
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParseYAML(t *testing.T, src string) *node {
+	t.Helper()
+	n, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	return n
+}
+
+func TestParseScalarsAndNesting(t *testing.T) {
+	n := mustParseYAML(t, `
+name: demo          # trailing comment
+title: "quoted: #not a comment"
+nested:
+  a: 1
+  b:
+    c: deep
+`)
+	if got := n.mapVals["name"].scalar; got != "demo" {
+		t.Errorf("name = %q", got)
+	}
+	if got := n.mapVals["title"].scalar; got != "quoted: #not a comment" {
+		t.Errorf("title = %q", got)
+	}
+	if got := n.mapVals["nested"].mapVals["b"].mapVals["c"].scalar; got != "deep" {
+		t.Errorf("nested.b.c = %q", got)
+	}
+	if keys := n.mapKeys; strings.Join(keys, ",") != "name,title,nested" {
+		t.Errorf("key order = %v", keys)
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	n := mustParseYAML(t, `
+inline: [1, 8, 64]
+block:
+  - alpha
+  - beta
+items:
+  - name: first
+    size: 1
+  - name: second
+    size: 2
+`)
+	inline := n.mapVals["inline"]
+	if inline.kind != listNode || len(inline.list) != 3 || inline.list[1].scalar != "8" {
+		t.Errorf("inline list = %+v", inline)
+	}
+	block := n.mapVals["block"]
+	if len(block.list) != 2 || block.list[0].scalar != "alpha" {
+		t.Errorf("block list = %+v", block)
+	}
+	items := n.mapVals["items"]
+	if len(items.list) != 2 {
+		t.Fatalf("items = %+v", items)
+	}
+	if got := items.list[1].mapVals["name"].scalar; got != "second" {
+		t.Errorf("items[1].name = %q", got)
+	}
+	if got := items.list[0].mapVals["size"].scalar; got != "1" {
+		t.Errorf("items[0].size = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab", "a: 1\n\tb: 2\n", "tab indentation"},
+		{"dup", "a: 1\na: 2\n", `duplicate key "a"`},
+		{"topIndent", "  a: 1\n", "must not be indented"},
+		{"noSpace", "a:1\n", `missing space after "a"`},
+		{"noValue", "a:\n", "key has no value"},
+		{"unterminated", "a: [1, 2\n", "unterminated inline list"},
+		{"emptyElem", "a: [1, , 2]\n", "empty element"},
+		{"badKey", "a b: 1\n", `invalid key "a b"`},
+		{"noColon", "justaword\n", `expected "key: value"`},
+		{"listWhereMap", "a:\n  - x\n  y: 1\n", "unexpected indentation"},
+		{"emptyItem", "a:\n  -\n", "empty list item"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseEmptyDoc(t *testing.T) {
+	n := mustParseYAML(t, "# only a comment\n\n")
+	if n.kind != mapNode || len(n.mapKeys) != 0 {
+		t.Errorf("empty doc = %+v", n)
+	}
+}
