@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-smoke bench results quick scenarios examples check clean
+.PHONY: all build vet lint test race race-live trace-smoke fuzz-smoke bench results quick scenarios examples check clean
 
 all: build vet lint test
 
@@ -32,6 +32,26 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Concentrated -race pass over the live-mode packages — the ones where
+# real goroutines race over shared state (HTTP emulator, SDK retries,
+# storage engines, histogram merging). -count=2 reruns each test so
+# lazily-initialised state is also exercised warm.
+race-live:
+	$(GO) test -race -count=2 ./internal/rest/ ./internal/sdk/ \
+		./internal/blobstore/ ./internal/queuestore/ ./internal/tablestore/ \
+		./internal/cachestore/ ./internal/storecommon/ ./internal/metrics/
+
+# End-to-end aztrace smoke: capture a traced faults run, then require a
+# non-empty critical-path reconstruction (the trees must be complete and
+# the chains must carry stage attributions).
+trace-smoke:
+	$(GO) build -o bin/azurebench ./cmd/azurebench
+	$(GO) build -o bin/aztrace ./cmd/aztrace
+	bin/azurebench -quick -experiment faults -tracefile bin/trace-smoke.jsonl >/dev/null
+	bin/aztrace summary bin/trace-smoke.jsonl | grep -q 'causal trees: complete'
+	bin/aztrace critpath -n 1 bin/trace-smoke.jsonl | tee bin/trace-smoke.txt | grep -q 'critical path'
+	test -s bin/trace-smoke.txt
 
 # One testing.B bench per paper table/figure plus engine micro-benches.
 # Writes a machine-readable baseline (BENCH_<date>.json) for diffing

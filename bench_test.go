@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"azurebench/internal/core"
+	"azurebench/internal/metrics"
 	"azurebench/internal/model"
 )
 
@@ -160,4 +161,35 @@ func BenchmarkGeorepl(b *testing.B) {
 	b.ReportMetric(rpo/float64(b.N), "rpo-records")
 	b.ReportMetric(rtoMs/float64(b.N), "rto-ms")
 	b.ReportMetric(staleMs/float64(b.N), "staleness-p95-ms")
+}
+
+// BenchmarkFig4_Traced regenerates Fig. 4 with operation tracing attached
+// and reports histogram-derived latency percentiles of the traced ops
+// (virtual time) alongside the wall cost — the percentile metrics
+// cmd/benchjson -compare diffs across runs.
+func BenchmarkFig4_Traced(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TraceOps = true
+	exp, ok := core.Lookup("fig4")
+	if !ok {
+		b.Fatal("unknown experiment fig4")
+	}
+	var h metrics.Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.NewSuite(cfg)
+		rep := exp.Run(s)
+		if len(rep.Figures) == 0 {
+			b.Fatal("experiment produced no figures")
+		}
+		for _, op := range s.TraceLog().Ops() {
+			h.Observe(op.Duration)
+		}
+	}
+	if h.Count() == 0 {
+		b.Fatal("tracing recorded no operations")
+	}
+	b.ReportMetric(float64(h.Percentile(50)), "p50-ns")
+	b.ReportMetric(float64(h.Percentile(99)), "p99-ns")
 }

@@ -1,0 +1,225 @@
+// Command aztrace analyses JSONL trace exports (azurebench -tracefile,
+// or a live emulator's trace log):
+//
+//	aztrace summary  run.jsonl            # forest + verify + stage table
+//	aztrace critpath run.jsonl            # critical path of the slowest traces
+//	aztrace tail     -pct 99 run.jsonl    # tail-latency attribution table
+//	aztrace chrome   run.jsonl > t.json   # Chrome trace-event export
+//	aztrace flame    run.jsonl > t.folded # collapsed stacks for flamegraph.pl
+//	aztrace diff     old.jsonl new.jsonl  # stage-by-stage p50/p99 diff
+//
+// The chrome output loads in chrome://tracing or ui.perfetto.dev; the
+// flame output feeds flamegraph.pl (or any collapsed-stack renderer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"azurebench/internal/tracegraph"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: aztrace <command> [flags] <trace.jsonl> [trace2.jsonl]
+
+commands:
+  summary    forest statistics, invariant check, and stage profiles
+  critpath   critical path of the slowest causal trees (-n, -pct)
+  tail       tail-latency attribution table (-pct)
+  chrome     Chrome trace-event JSON on stdout
+  flame      collapsed stacks for flamegraph.pl on stdout
+  diff       stage-by-stage p50/p99 diff of two traces`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet("aztrace "+cmd, flag.ExitOnError)
+	pct := fs.Float64("pct", 99, "tail percentile (tail, critpath)")
+	topN := fs.Int("n", 3, "how many slowest traces to print (critpath)")
+	fs.Parse(os.Args[2:])
+
+	want := 1
+	if cmd == "diff" {
+		want = 2
+	}
+	if fs.NArg() != want {
+		usage()
+	}
+	tr := load(fs.Arg(0))
+
+	switch cmd {
+	case "summary":
+		summary(tr)
+	case "critpath":
+		critpath(tr, *topN, *pct)
+	case "tail":
+		fmt.Print(tracegraph.RenderTail(tr.TailAttribution(*pct), *pct))
+	case "chrome":
+		if err := tracegraph.WriteChrome(os.Stdout, tr); err != nil {
+			fatal(err)
+		}
+	case "flame":
+		if err := tracegraph.WriteFlame(os.Stdout, tr); err != nil {
+			fatal(err)
+		}
+	case "diff":
+		fmt.Print(tracegraph.RenderDiff(tracegraph.Diff(tr, load(fs.Arg(1)))))
+	default:
+		usage()
+	}
+}
+
+func load(path string) *tracegraph.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := tracegraph.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "aztrace: %v\n", err)
+	os.Exit(1)
+}
+
+// summary prints the forest shape, the invariant check, and per-group
+// stage percentiles.
+func summary(tr *tracegraph.Trace) {
+	f := tr.Forest()
+	rep := tr.Verify()
+	fmt.Printf("ops: %d  roots: %d  standalone: %d  orphans: %d\n",
+		rep.Ops, len(f.Roots), rep.Standalone, rep.Orphans)
+	if tr.Meta.Dropped > 0 {
+		fmt.Printf("eviction: %d ops dropped, window truncated before %v\n",
+			tr.Meta.Dropped, tr.Meta.EvictedBefore)
+	}
+	if len(tr.Meta.Experiments) > 0 {
+		fmt.Printf("experiments: %s\n", strings.Join(tr.Meta.Experiments, ", "))
+	}
+	switch {
+	case rep.Complete():
+		fmt.Println("causal trees: complete (every non-root span resolves its parent)")
+	default:
+		fmt.Printf("causal trees: INCOMPLETE (%d orphaned spans)\n", rep.Orphans)
+	}
+	if rep.SpanMismatches > 0 {
+		fmt.Printf("stage partition: %d ops whose stages do not sum to their duration\n", rep.SpanMismatches)
+	}
+	fmt.Println()
+	for _, p := range tr.Profiles() {
+		fmt.Printf("%s/%s: n=%d p50=%v p99=%v\n", p.Service, p.Name, p.Count,
+			p.Percentile(50).Round(time.Microsecond), p.Percentile(99).Round(time.Microsecond))
+	}
+}
+
+// chainDuration is the summed duration of a root's critical path.
+func chainDuration(root *tracegraph.Node) time.Duration {
+	var sum time.Duration
+	for _, step := range tracegraph.CriticalPath(root) {
+		sum += step.Op.Duration
+	}
+	return sum
+}
+
+// critpath prints the critical path of the n slowest causal trees, plus
+// the aggregate stage breakdown of every tree above the pct-th
+// percentile chain duration.
+func critpath(tr *tracegraph.Trace, n int, pct float64) {
+	f := tr.Forest()
+	if len(f.Roots) == 0 {
+		fmt.Println("(no operations)")
+		return
+	}
+	type chain struct {
+		root *tracegraph.Node
+		dur  time.Duration
+	}
+	chains := make([]chain, 0, len(f.Roots))
+	for _, r := range f.Roots {
+		chains = append(chains, chain{r, chainDuration(r)})
+	}
+	sort.SliceStable(chains, func(i, j int) bool { return chains[i].dur > chains[j].dur })
+
+	if n > len(chains) {
+		n = len(chains)
+	}
+	fmt.Printf("critical path of the %d slowest traces:\n", n)
+	for i := 0; i < n; i++ {
+		c := chains[i]
+		fmt.Printf("\n#%d  %v  trace=%s\n", i+1, c.dur.Round(time.Microsecond), c.root.Op.TraceID)
+		for _, step := range tracegraph.CriticalPath(c.root) {
+			var stages []string
+			names := make([]string, 0, len(step.Stages))
+			for st := range step.Stages {
+				names = append(names, st)
+			}
+			sort.Strings(names)
+			for _, st := range names {
+				stages = append(stages, fmt.Sprintf("%s=%v", st, step.Stages[st].Round(time.Microsecond)))
+			}
+			status := ""
+			if step.Op.Err != "" {
+				status = "  err=" + step.Op.Err
+			}
+			fmt.Printf("  %s %s/%s  %v%s  [%s]\n", step.Op.Client, step.Op.Service,
+				step.Op.Name, step.Op.Duration.Round(time.Microsecond), status,
+				strings.Join(stages, " "))
+		}
+	}
+
+	// Aggregate stage attribution over the slow-chain population.
+	durs := make([]time.Duration, len(chains))
+	for i, c := range chains {
+		durs[i] = c.dur
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	rank := int(pct / 100 * float64(len(durs)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(durs) {
+		rank = len(durs)
+	}
+	thresh := durs[rank-1]
+	agg := map[string]time.Duration{}
+	var total time.Duration
+	var slow int
+	for _, c := range chains {
+		if c.dur < thresh {
+			continue
+		}
+		slow++
+		for _, step := range tracegraph.CriticalPath(c.root) {
+			for st, d := range step.Stages {
+				agg[st] += d
+				total += d
+			}
+		}
+	}
+	if total == 0 {
+		return
+	}
+	fmt.Printf("\nstage breakdown of the %d traces >= p%g (%v):\n", slow, pct, thresh.Round(time.Microsecond))
+	names := make([]string, 0, len(agg))
+	for st := range agg {
+		names = append(names, st)
+	}
+	sort.Slice(names, func(i, j int) bool { return agg[names[i]] > agg[names[j]] })
+	for _, st := range names {
+		fmt.Printf("  %-14s %10v  %5.1f%%\n", st, agg[st].Round(time.Microsecond),
+			100*float64(agg[st])/float64(total))
+	}
+}

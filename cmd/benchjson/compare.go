@@ -13,6 +13,45 @@ type Delta struct {
 	NewNs      float64 // ns/op in the candidate
 	Pct        float64 // (new-old)/old * 100
 	Regression bool    // Pct exceeds the threshold
+	// Percentiles holds latency-percentile deltas for benchmarks that
+	// report histogram-derived metrics (p50-ns, p99-ns via ReportMetric)
+	// on both sides; empty otherwise. Percentile shifts are informational
+	// and never fail the comparison — ns/op stays the gate.
+	Percentiles []PctDelta
+}
+
+// PctDelta is one reported percentile compared across the two runs.
+type PctDelta struct {
+	Name string  // "p50", "p99"
+	Old  float64 // ns in the baseline
+	New  float64 // ns in the candidate
+	Pct  float64 // (new-old)/old * 100
+}
+
+// percentileUnits are the ReportMetric units carrying histogram-derived
+// latency percentiles, in render order.
+var percentileUnits = []struct{ unit, name string }{
+	{"p50-ns", "p50"},
+	{"p99-ns", "p99"},
+}
+
+// percentileDeltas extracts the percentile metrics both sides report.
+func percentileDeltas(old, cur Benchmark) []PctDelta {
+	var out []PctDelta
+	for _, pu := range percentileUnits {
+		ov, on := old.Metrics[pu.unit]
+		nv, nn := cur.Metrics[pu.unit]
+		if !on || !nn || ov <= 0 || nv <= 0 {
+			continue
+		}
+		out = append(out, PctDelta{
+			Name: pu.name,
+			Old:  ov,
+			New:  nv,
+			Pct:  (nv - ov) / ov * 100,
+		})
+	}
+	return out
 }
 
 // benchKey is the identity benchmarks are matched on across runs.
@@ -44,11 +83,12 @@ func Compare(old, cur *Report, thresholdPct float64) (deltas []Delta, onlyOld, o
 		}
 		pct := (b.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
 		deltas = append(deltas, Delta{
-			Key:        key,
-			OldNs:      ob.NsPerOp,
-			NewNs:      b.NsPerOp,
-			Pct:        pct,
-			Regression: pct > thresholdPct,
+			Key:         key,
+			OldNs:       ob.NsPerOp,
+			NewNs:       b.NsPerOp,
+			Pct:         pct,
+			Regression:  pct > thresholdPct,
+			Percentiles: percentileDeltas(ob, b),
 		})
 	}
 	for _, b := range old.Benchmarks {
@@ -75,6 +115,10 @@ func RenderCompare(deltas []Delta, onlyOld, onlyNew []string, thresholdPct float
 		}
 		fmt.Fprintf(&b, "%s %-60s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
 			mark, d.Key, d.OldNs, d.NewNs, d.Pct)
+		for _, p := range d.Percentiles {
+			fmt.Fprintf(&b, "   %-60s %14.0f -> %14.0f %s-ns  %+7.1f%%\n",
+				"", p.Old, p.New, p.Name, p.Pct)
+		}
 	}
 	for _, k := range onlyOld {
 		fmt.Fprintf(&b, "-- %-60s only in baseline\n", k)

@@ -84,3 +84,56 @@ func TestCompareSkipsZeroNs(t *testing.T) {
 		t.Errorf("zero-ns baseline should be skipped: %+v", deltas)
 	}
 }
+
+func TestComparePercentileDeltas(t *testing.T) {
+	withP := func(b Benchmark, p50, p99 float64) Benchmark {
+		b.Metrics = map[string]float64{"p50-ns": p50, "p99-ns": p99}
+		return b
+	}
+	old := rep(
+		withP(bench("p", "Traced", 1, 1000), 2_000_000, 40_000_000),
+		bench("p", "Plain", 1, 1000), // no percentile metrics
+	)
+	cur := rep(
+		withP(bench("p", "Traced", 1, 1000), 2_200_000, 80_000_000),
+		bench("p", "Plain", 1, 1000),
+	)
+	deltas, _, _ := Compare(old, cur, 25)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	// Sorted by key: Plain < Traced.
+	if len(deltas[0].Percentiles) != 0 {
+		t.Errorf("Plain should carry no percentile deltas: %+v", deltas[0].Percentiles)
+	}
+	ps := deltas[1].Percentiles
+	if len(ps) != 2 || ps[0].Name != "p50" || ps[1].Name != "p99" {
+		t.Fatalf("Traced percentiles = %+v", ps)
+	}
+	if ps[0].Pct < 9 || ps[0].Pct > 11 {
+		t.Errorf("p50 delta = %+v, want ~+10%%", ps[0])
+	}
+	if ps[1].Pct != 100 {
+		t.Errorf("p99 delta = %+v, want +100%%", ps[1])
+	}
+	// A p99 blow-up alone must not fail the gate (ns/op is unchanged).
+	text, pass := RenderCompare(deltas, nil, nil, 25)
+	if !pass {
+		t.Errorf("percentile-only shift failed the gate:\n%s", text)
+	}
+	for _, want := range []string{"p50-ns", "p99-ns", "+100.0%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompareMissingSidePercentiles(t *testing.T) {
+	old := rep(bench("p", "A", 1, 1000))
+	cur0 := bench("p", "A", 1, 1000)
+	cur0.Metrics = map[string]float64{"p99-ns": 5_000_000}
+	deltas, _, _ := Compare(old, rep(cur0), 25)
+	if len(deltas) != 1 || len(deltas[0].Percentiles) != 0 {
+		t.Fatalf("one-sided percentile metrics must not produce deltas: %+v", deltas)
+	}
+}

@@ -148,6 +148,7 @@ var simFacingSegments = map[string]bool{
 	"scenario":     true,
 	"telemetry":    true,
 	"trace":        true,
+	"tracegraph":   true,
 }
 
 // SimFacing reports whether the package at importPath is

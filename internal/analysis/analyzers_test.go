@@ -12,7 +12,7 @@ func TestWalltime(t *testing.T) {
 }
 
 func TestSeededrand(t *testing.T) {
-	atest.Run(t, analysis.Seededrand, "seededrand/cloud", "seededrand/outofscope")
+	atest.Run(t, analysis.Seededrand, "seededrand/cloud", "seededrand/outofscope", "seededrand/tracegraph")
 }
 
 func TestMaporder(t *testing.T) {
@@ -35,6 +35,7 @@ func TestScopes(t *testing.T) {
 		"azurebench/internal/blobstore":    true,
 		"azurebench/internal/storecommon":  true,
 		"azurebench/internal/trace":        true,
+		"azurebench/internal/tracegraph":   true,
 		"azurebench/internal/telemetry":    true,
 		"azurebench/internal/model":        true,
 		"azurebench/internal/faults":       true,

@@ -68,7 +68,12 @@ type Cloud struct {
 	cacheSrv []*sim.Resource
 
 	traceLog *trace.Log
-	faults   *faults.Injector
+	// ids mints trace/span identifiers for recorded ops. It exists only
+	// while tracing is attached and is seeded from the region name, so ID
+	// assignment is a pure function of the seed + attach order and never
+	// draws from the simulation PRNG streams.
+	ids    *trace.IDGen
+	faults *faults.Injector
 
 	// geo, when attached, receives every committed mutation for async
 	// replay against geoDst (the paired secondary-region cloud). Nil —
@@ -90,8 +95,15 @@ func (c *Cloud) Faults() *faults.Injector { return c.faults }
 
 // SetTrace attaches an operation log; every subsequent client operation is
 // recorded with its virtual start time, duration, payload bytes and error
-// code. Pass nil to detach.
-func (c *Cloud) SetTrace(l *trace.Log) { c.traceLog = l }
+// code — and, so retry chains and replication fan-out reconstruct as
+// causal trees, with deterministic trace/span identifiers. Pass nil to
+// detach.
+func (c *Cloud) SetTrace(l *trace.Log) {
+	c.traceLog = l
+	if l != nil && c.ids == nil {
+		c.ids = trace.NewIDGen("cloud/" + c.region)
+	}
+}
 
 // SetGeoStream attaches a geo-replication stream: every mutation this
 // cloud commits from now on is appended to s for asynchronous replay
@@ -313,14 +325,18 @@ func (c *Cloud) notePartitionEvents(evs []partitionmgr.Event) {
 		return
 	}
 	for _, ev := range evs {
-		c.traceLog.Record(trace.Op{
+		op := trace.Op{
 			Start:    ev.At,
 			Duration: ev.Blackout,
 			Client:   "partition-master",
 			Service:  "table",
 			Name:     "Partition" + ev.Kind.String(),
 			Tag:      ev.Describe(),
-		})
+		}
+		if c.ids != nil {
+			op.TraceID, op.SpanID = c.ids.TraceID(), c.ids.SpanID()
+		}
+		c.traceLog.Record(op)
 	}
 }
 
@@ -386,6 +402,9 @@ type request struct {
 	tracedErr  string
 	fault      string
 	st         *spanCutter
+	traceID    string // causal identity of this attempt (tracing attached only)
+	spanID     string
+	parentID   string
 }
 
 // spanCutter attributes elapsed virtual time to pipeline stages as the
@@ -484,6 +503,16 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 			start -= b
 			req.st.add(trace.StageRetryBackoff, b)
 		}
+		// Causal identity: a retried attempt continues the trace its
+		// predecessor opened (and is parented under it); a first attempt
+		// roots a fresh trace.
+		req.traceID, req.parentID = cl.pendingTrace, cl.pendingParent
+		cl.pendingTrace, cl.pendingParent = "", ""
+		if req.traceID == "" {
+			req.traceID = c.ids.TraceID()
+		}
+		req.spanID = c.ids.SpanID()
+		cl.lastTraceID, cl.lastSpanID = req.traceID, req.spanID
 		defer func(start time.Duration) {
 			// The error is re-derived from stats below; record what the
 			// request moved and how long it took.
@@ -496,6 +525,9 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 				Bytes:    req.up + req.tracedDown,
 				Err:      req.tracedErr,
 				Fault:    req.fault,
+				TraceID:  req.traceID,
+				SpanID:   req.spanID,
+				ParentID: req.parentID,
 				Spans:    req.st.spans,
 			})
 		}(start)
@@ -608,9 +640,12 @@ func (cl *Client) do(p *sim.Proc, req request) error {
 	}
 	if err == nil && req.mirror != nil && c.geo != nil {
 		// The mutation just committed on the primary: append it to the
-		// geo-replication log for asynchronous replay on the secondary.
+		// geo-replication log for asynchronous replay on the secondary,
+		// carrying the mutation's causal identity so the replayed record
+		// traces as a child of the op that caused it.
 		mirror, dst := req.mirror, c.geoDst
 		c.geo.Append(c.env.Now(), req.service, req.geoKey, req.op, req.up,
+			req.traceID, req.spanID,
 			func() error { return mirror(dst) })
 	}
 	c.stats.Ops++
@@ -689,6 +724,14 @@ type Client struct {
 	// pendingBackoff is retry backoff slept but not yet attributed to an
 	// operation's trace record (only maintained while tracing is attached).
 	pendingBackoff time.Duration
+	// Retry-chain identity (only maintained while tracing is attached):
+	// lastTraceID/lastSpanID name the most recent attempt this client
+	// issued; pendingTrace/pendingParent, when set, are consumed by the
+	// next do() so attempt N+1 records as a child of attempt N.
+	lastTraceID   string
+	lastSpanID    string
+	pendingTrace  string
+	pendingParent string
 }
 
 // clientMap is one cached partition-map snapshot with its fetch time.
@@ -783,6 +826,7 @@ func (cl *Client) Retry(p *sim.Proc, pol retry.Policy, op func() error) (retries
 		}
 		if cl.cloud.traceLog != nil {
 			cl.pendingBackoff += d
+			cl.pendingTrace, cl.pendingParent = cl.lastTraceID, cl.lastSpanID
 		}
 		p.Sleep(d)
 	}

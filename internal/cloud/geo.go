@@ -38,6 +38,9 @@ type GeoAccount struct {
 	reverse *georepl.Stream // secondary -> old primary (created at failover)
 
 	traceLog *trace.Log
+	// ids mints span identifiers for the shipper/controller trace ops
+	// (seeded, never the simulation PRNG); nil while tracing is detached.
+	ids *trace.IDGen
 }
 
 // NewGeoAccount builds the paired clouds and starts the forward
@@ -133,6 +136,9 @@ func (g *GeoAccount) LastSyncTime() time.Duration {
 // shipper (batches appear as geo-service ops with a "wan" span).
 func (g *GeoAccount) SetTrace(l *trace.Log) {
 	g.traceLog = l
+	if l != nil && g.ids == nil {
+		g.ids = trace.NewIDGen("geo")
+	}
 	g.pri.SetTrace(l)
 	g.sec.SetTrace(l)
 }
@@ -158,13 +164,15 @@ func (g *GeoAccount) Stations() []telemetry.Station {
 
 // installShipTrace records each shipped batch as a zero-client trace op
 // carrying a WAN span, so replication traffic shares the experiment's
-// timeline.
+// timeline — plus, per record that carries a causal identity, one child
+// op parented under the primary mutation that produced it, which is what
+// turns geo-replication into subtrees of the originating requests.
 func (g *GeoAccount) installShipTrace(s *georepl.Stream) {
 	s.SetOnShip(func(start, end time.Duration, recs []*georepl.Record, bytes int64) {
 		if g.traceLog == nil {
 			return
 		}
-		g.traceLog.Record(trace.Op{
+		batch := trace.Op{
 			Start:    start,
 			Duration: end - start,
 			Client:   "geo-shipper",
@@ -173,7 +181,29 @@ func (g *GeoAccount) installShipTrace(s *georepl.Stream) {
 			Bytes:    bytes,
 			Tag:      fmt.Sprintf("%d records over %s", len(recs), s.WAN().Name()),
 			Spans:    []trace.Span{{Stage: trace.StageWAN, Dur: end - start}},
-		})
+		}
+		if g.ids != nil {
+			batch.TraceID, batch.SpanID = g.ids.TraceID(), g.ids.SpanID()
+		}
+		g.traceLog.Record(batch)
+		for _, r := range recs {
+			if r.TraceID == "" || g.ids == nil {
+				continue
+			}
+			g.traceLog.Record(trace.Op{
+				Start:    start,
+				Duration: end - start,
+				Client:   "geo-shipper",
+				Service:  "geo",
+				Name:     "Replicate" + r.Op,
+				Bytes:    r.Bytes,
+				Tag:      r.Service + "/" + r.Part,
+				TraceID:  r.TraceID,
+				SpanID:   g.ids.SpanID(),
+				ParentID: r.SpanID,
+				Spans:    []trace.Span{{Stage: trace.StageWAN, Dur: end - start}},
+			})
+		}
 	})
 }
 
@@ -182,13 +212,17 @@ func (g *GeoAccount) noteTransition(at time.Duration, name, tag string) {
 	if g.traceLog == nil {
 		return
 	}
-	g.traceLog.Record(trace.Op{
+	op := trace.Op{
 		Start:   at,
 		Client:  "geo-controller",
 		Service: "geo",
 		Name:    name,
 		Tag:     tag,
-	})
+	}
+	if g.ids != nil {
+		op.TraceID, op.SpanID = g.ids.TraceID(), g.ids.SpanID()
+	}
+	g.traceLog.Record(op)
 }
 
 // OutageWindow returns the region-scoped fault window matching a
@@ -312,17 +346,29 @@ func (gc *GeoClient) Secondary() *Client {
 func (gc *GeoClient) Retry(p *sim.Proc, pol retry.Policy, op func(cl *Client) error) (retries int, err error) {
 	start := p.Now()
 	var carry time.Duration // backoff slept before the upcoming attempt
+	var chainTrace, chainSpan string
 	for {
 		cl := gc.Active()
-		if carry > 0 && cl.cloud.traceLog != nil {
-			// Attribute the backoff to the attempt it precedes, on
-			// whichever region's client performs that attempt.
-			cl.pendingBackoff += carry
+		if cl.cloud.traceLog != nil {
+			if carry > 0 {
+				// Attribute the backoff to the attempt it precedes, on
+				// whichever region's client performs that attempt.
+				cl.pendingBackoff += carry
+			}
+			if chainTrace != "" {
+				// The retry chain follows the request across regions: a
+				// failed-over attempt parents under the attempt that failed
+				// into the outage, even though a different client issues it.
+				cl.pendingTrace, cl.pendingParent = chainTrace, chainSpan
+			}
 		}
 		carry = 0
 		err = op(cl)
 		if !pol.ShouldRetry(retries, p.Now()-start, err) {
 			return retries, err
+		}
+		if cl.cloud.traceLog != nil {
+			chainTrace, chainSpan = cl.lastTraceID, cl.lastSpanID
 		}
 		d := pol.Delay(retries, func() float64 { return p.Rand().Float64() })
 		retries++

@@ -44,6 +44,11 @@ type Record struct {
 	Part    string // partition key (container, queue, or table name)
 	Op      string
 	Bytes   int64
+	// TraceID/SpanID carry the causal identity of the primary mutation
+	// that produced this record (empty when the primary ran untraced), so
+	// replay trace ops parent under the op that caused them.
+	TraceID string
+	SpanID  string
 	// Apply replays the mutation against the secondary's engine.
 	Apply func() error
 }
@@ -173,9 +178,10 @@ func (s *Stream) SetOnShip(fn func(start, end time.Duration, recs []*Record, byt
 
 // Append accepts a committed primary mutation into the replication log.
 // at is the commit virtual time; apply replays the mutation on the
-// secondary when the batch lands. Appends after Freeze are dropped (the
-// primary is partitioned from the WAN).
-func (s *Stream) Append(at time.Duration, service, part, op string, bytes int64, apply func() error) {
+// secondary when the batch lands. traceID/spanID name the originating
+// mutation's trace identity (empty when untraced). Appends after Freeze
+// are dropped (the primary is partitioned from the WAN).
+func (s *Stream) Append(at time.Duration, service, part, op string, bytes int64, traceID, spanID string, apply func() error) {
 	if s.frozen {
 		s.stats.DroppedFrozen++
 		return
@@ -190,6 +196,8 @@ func (s *Stream) Append(at time.Duration, service, part, op string, bytes int64,
 		Part:    part,
 		Op:      op,
 		Bytes:   bytes,
+		TraceID: traceID,
+		SpanID:  spanID,
 		Apply:   apply,
 	})
 	s.stats.Appended++

@@ -35,7 +35,7 @@ func TestStreamShipsInOrder(t *testing.T) {
 	st.Start()
 	env.Go("writer", func(p *sim.Proc) {
 		for i := 0; i < 5; i++ {
-			st.Append(p.Now(), "queue", "jobs", "PutMessage", 1024, mk(fmt.Sprintf("m%d", i)))
+			st.Append(p.Now(), "queue", "jobs", "PutMessage", 1024, "", "", mk(fmt.Sprintf("m%d", i)))
 			p.Sleep(50 * time.Millisecond)
 		}
 	})
@@ -84,8 +84,8 @@ func TestStreamPartitionSequencing(t *testing.T) {
 	st.Start()
 	env.Go("writer", func(p *sim.Proc) {
 		for i := 0; i < 3; i++ {
-			st.Append(p.Now(), "table", "orders", "InsertEntity", 256, func() error { return nil })
-			st.Append(p.Now(), "table", "users", "InsertEntity", 256, func() error { return nil })
+			st.Append(p.Now(), "table", "orders", "InsertEntity", 256, "", "", func() error { return nil })
+			st.Append(p.Now(), "table", "users", "InsertEntity", 256, "", "", func() error { return nil })
 		}
 	})
 	env.Run()
@@ -118,15 +118,15 @@ func TestStreamFreezeCountsLost(t *testing.T) {
 	}
 	st.Start()
 	env.Go("writer", func(p *sim.Proc) {
-		st.Append(p.Now(), "blob", "logs", "PutBlock", 4096, func() error { applied++; return nil })
+		st.Append(p.Now(), "blob", "logs", "PutBlock", 4096, "", "", func() error { applied++; return nil })
 		p.Sleep(510 * time.Millisecond) // first record is now in flight on the WAN
-		st.Append(p.Now(), "blob", "logs", "PutBlock", 4096, func() error { applied++; return nil })
+		st.Append(p.Now(), "blob", "logs", "PutBlock", 4096, "", "", func() error { applied++; return nil })
 	})
 	var lost []*Record
 	env.GoAt(550*time.Millisecond, "outage", func(p *sim.Proc) {
 		lost = st.Freeze(p.Now())
 		// Writes arriving after the freeze are dropped, not queued.
-		st.Append(p.Now(), "blob", "logs", "PutBlock", 4096, func() error { applied++; return nil })
+		st.Append(p.Now(), "blob", "logs", "PutBlock", 4096, "", "", func() error { applied++; return nil })
 	})
 	env.Run()
 
@@ -157,8 +157,8 @@ func TestStreamApplyErrorsTolerated(t *testing.T) {
 	}
 	st.Start()
 	env.Go("writer", func(p *sim.Proc) {
-		st.Append(p.Now(), "queue", "jobs", "DeleteMessage", 64, func() error { return errors.New("message gone") })
-		st.Append(p.Now(), "queue", "jobs", "PutMessage", 64, func() error { return nil })
+		st.Append(p.Now(), "queue", "jobs", "DeleteMessage", 64, "", "", func() error { return errors.New("message gone") })
+		st.Append(p.Now(), "queue", "jobs", "PutMessage", 64, "", "", func() error { return nil })
 	})
 	env.Run()
 	s := st.Stats()
@@ -180,7 +180,7 @@ func TestWaitDrained(t *testing.T) {
 	}
 	st.Start()
 	env.Go("writer", func(p *sim.Proc) {
-		st.Append(p.Now(), "table", "t", "InsertEntity", 128, func() error { return nil })
+		st.Append(p.Now(), "table", "t", "InsertEntity", 128, "", "", func() error { return nil })
 	})
 	var drainedAt time.Duration
 	env.Go("waiter", func(p *sim.Proc) {
@@ -253,7 +253,7 @@ func TestSecondaryReadsMonotonicLastSync(t *testing.T) {
 				for _, at := range tc.commits {
 					p.Sleep(at - last)
 					last = at
-					st.Append(p.Now(), "table", "t", "InsertEntity", 512, func() error { return nil })
+					st.Append(p.Now(), "table", "t", "InsertEntity", 512, "", "", func() error { return nil })
 				}
 			})
 			// committedBy returns the newest primary commit at or before now.

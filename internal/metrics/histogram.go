@@ -164,6 +164,28 @@ func (h *Histogram) Buckets() []Bucket {
 	return out
 }
 
+// CumBucket is one bucket of a cumulative (Prometheus-style) view: Count
+// samples were at or below Hi. The top bucket's Hi is the maximum
+// duration, which exporters render as +Inf.
+type CumBucket struct {
+	Hi    time.Duration
+	Count uint64
+}
+
+// CumulativeBuckets translates the fixed log2 layout into cumulative
+// le-buckets over the full layout (empty buckets included), ascending.
+// The final bucket's Count always equals Count().
+func (h *Histogram) CumulativeBuckets() []CumBucket {
+	out := make([]CumBucket, histBuckets)
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		_, hi := BucketBounds(i)
+		out[i] = CumBucket{Hi: hi, Count: cum}
+	}
+	return out
+}
+
 // Summary renders a one-line histogram summary.
 func (h *Histogram) Summary() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v max=%v",

@@ -32,9 +32,10 @@ func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
 			writeMethodNotAllowed(w, r)
 			return
 		}
-		writeXML(w, http.StatusOK, containerListXML{
-			Containers: s.Blob.ListContainers(r.URL.Query().Get("prefix")),
-		})
+		done := engineStart(r)
+		containers := s.Blob.ListContainers(r.URL.Query().Get("prefix"))
+		done()
+		writeXML(w, http.StatusOK, containerListXML{Containers: containers})
 	case 1:
 		s.handleContainer(w, r, parts[0])
 	case 2:
@@ -46,19 +47,21 @@ func (s *Server) handleContainer(w http.ResponseWriter, r *http.Request, contain
 	q := r.URL.Query()
 	switch {
 	case r.Method == http.MethodPut:
-		if err := s.Blob.CreateContainer(container); err != nil {
+		if err := engineDo(r, func() error { return s.Blob.CreateContainer(container) }); err != nil {
 			writeError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusCreated)
 	case r.Method == http.MethodDelete:
-		if err := s.Blob.DeleteContainer(container); err != nil {
+		if err := engineDo(r, func() error { return s.Blob.DeleteContainer(container) }); err != nil {
 			writeError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusAccepted)
 	case r.Method == http.MethodGet && q.Get("comp") == "list":
+		done := engineStart(r)
 		blobs, err := s.Blob.ListBlobs(container, q.Get("prefix"))
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -92,7 +95,9 @@ func (s *Server) handleBlobObject(w http.ResponseWriter, r *http.Request, contai
 	case r.Method == http.MethodPut && comp == "lease":
 		s.leaseOp(w, r, container, blob)
 	case r.Method == http.MethodPut && comp == "snapshot":
+		done := engineStart(r)
 		ts, err := s.Blob.Snapshot(container, blob)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -102,15 +107,15 @@ func (s *Server) handleBlobObject(w http.ResponseWriter, r *http.Request, contai
 	case r.Method == http.MethodPut:
 		s.putBlob(w, r, container, blob)
 	case r.Method == http.MethodGet && comp == "blocklist":
-		s.getBlockList(w, container, blob)
+		s.getBlockList(w, r, container, blob)
 	case r.Method == http.MethodGet && comp == "pagelist":
-		s.getPageList(w, container, blob)
+		s.getPageList(w, r, container, blob)
 	case r.Method == http.MethodGet:
 		s.getBlob(w, r, container, blob)
 	case r.Method == http.MethodHead:
-		s.headBlob(w, container, blob)
+		s.headBlob(w, r, container, blob)
 	case r.Method == http.MethodDelete:
-		if err := s.Blob.DeleteBlob(container, blob, r.Header.Get("x-ms-lease-id")); err != nil {
+		if err := engineDo(r, func() error { return s.Blob.DeleteBlob(container, blob, r.Header.Get("x-ms-lease-id")) }); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -137,7 +142,9 @@ func (s *Server) putBlob(w http.ResponseWriter, r *http.Request, container, blob
 				"x-ms-blob-content-length required for page blobs"))
 			return
 		}
+		done := engineStart(r)
 		props, err := s.Blob.CreatePageBlob(container, blob, size)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -150,7 +157,9 @@ func (s *Server) putBlob(w http.ResponseWriter, r *http.Request, container, blob
 			writeError(w, err)
 			return
 		}
+		done := engineStart(r)
 		props, err := s.Blob.UploadBlockBlob(container, blob, data, r.Header.Get("x-ms-lease-id"))
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -169,7 +178,7 @@ func (s *Server) putBlock(w http.ResponseWriter, r *http.Request, container, blo
 		writeError(w, err)
 		return
 	}
-	if err := s.Blob.PutBlock(container, blob, blockID, data); err != nil {
+	if err := engineDo(r, func() error { return s.Blob.PutBlock(container, blob, blockID, data) }); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -196,7 +205,9 @@ func (s *Server) putBlockList(w http.ResponseWriter, r *http.Request, container,
 		writeError(w, err)
 		return
 	}
+	done := engineStart(r)
 	props, err := s.Blob.PutBlockList(container, blob, refs, r.Header.Get("x-ms-lease-id"))
+	done()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -247,8 +258,10 @@ func decodeBlockListOrdered(raw []byte) ([]blobstore.BlockRef, error) {
 	return refs, nil
 }
 
-func (s *Server) getBlockList(w http.ResponseWriter, container, blob string) {
+func (s *Server) getBlockList(w http.ResponseWriter, r *http.Request, container, blob string) {
+	done := engineStart(r)
 	committed, uncommitted, err := s.Blob.GetBlockList(container, blob)
+	done()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -272,7 +285,7 @@ func (s *Server) putPage(w http.ResponseWriter, r *http.Request, container, blob
 	leaseID := r.Header.Get("x-ms-lease-id")
 	switch r.Header.Get("x-ms-page-write") {
 	case "clear":
-		if err := s.Blob.ClearPages(container, blob, off, n, leaseID); err != nil {
+		if err := engineDo(r, func() error { return s.Blob.ClearPages(container, blob, off, n, leaseID) }); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -287,7 +300,7 @@ func (s *Server) putPage(w http.ResponseWriter, r *http.Request, container, blob
 				"body length %d does not match range length %d", data.Len(), n))
 			return
 		}
-		if err := s.Blob.PutPages(container, blob, off, data, leaseID); err != nil {
+		if err := engineDo(r, func() error { return s.Blob.PutPages(container, blob, off, data, leaseID) }); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -305,8 +318,10 @@ type pageRangeXML struct {
 	End   int64 `xml:"End"`
 }
 
-func (s *Server) getPageList(w http.ResponseWriter, container, blob string) {
+func (s *Server) getPageList(w http.ResponseWriter, r *http.Request, container, blob string) {
+	done := engineStart(r)
 	ranges, err := s.Blob.GetPageRanges(container, blob)
+	done()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -325,7 +340,9 @@ func (s *Server) getBlob(w http.ResponseWriter, r *http.Request, container, blob
 			writeError(w, storecommon.Errf(storecommon.CodeInvalidInput, 400, "bad snapshot timestamp %q", snap))
 			return
 		}
+		done := engineStart(r)
 		data, err := s.Blob.DownloadSnapshot(container, blob, ts)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -340,7 +357,9 @@ func (s *Server) getBlob(w http.ResponseWriter, r *http.Request, container, blob
 			writeError(w, err)
 			return
 		}
+		done := engineStart(r)
 		data, err := s.Blob.DownloadRange(container, blob, off, n)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -349,7 +368,9 @@ func (s *Server) getBlob(w http.ResponseWriter, r *http.Request, container, blob
 		w.Write(data.Materialize())
 		return
 	}
+	done := engineStart(r)
 	data, props, err := s.Blob.Download(container, blob)
+	done()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -359,8 +380,10 @@ func (s *Server) getBlob(w http.ResponseWriter, r *http.Request, container, blob
 	w.Write(data.Materialize())
 }
 
-func (s *Server) headBlob(w http.ResponseWriter, container, blob string) {
+func (s *Server) headBlob(w http.ResponseWriter, r *http.Request, container, blob string) {
+	done := engineStart(r)
 	props, err := s.Blob.GetProps(container, blob)
+	done()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -391,7 +414,9 @@ func (s *Server) leaseOp(w http.ResponseWriter, r *http.Request, container, blob
 			}
 			d = time.Duration(secs) * time.Second
 		}
+		done := engineStart(r)
 		id, err := s.Blob.AcquireLease(container, blob, d)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -399,19 +424,19 @@ func (s *Server) leaseOp(w http.ResponseWriter, r *http.Request, container, blob
 		w.Header().Set("x-ms-lease-id", id)
 		w.WriteHeader(http.StatusCreated)
 	case "renew":
-		if err := s.Blob.RenewLease(container, blob, leaseID, blobstore.InfiniteLease); err != nil {
+		if err := engineDo(r, func() error { return s.Blob.RenewLease(container, blob, leaseID, blobstore.InfiniteLease) }); err != nil {
 			writeError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusOK)
 	case "release":
-		if err := s.Blob.ReleaseLease(container, blob, leaseID); err != nil {
+		if err := engineDo(r, func() error { return s.Blob.ReleaseLease(container, blob, leaseID) }); err != nil {
 			writeError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusOK)
 	case "break":
-		if err := s.Blob.BreakLease(container, blob); err != nil {
+		if err := engineDo(r, func() error { return s.Blob.BreakLease(container, blob) }); err != nil {
 			writeError(w, err)
 			return
 		}

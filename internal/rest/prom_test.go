@@ -1,0 +1,191 @@
+package rest
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition line: name{labels} value.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition parses Prometheus text-exposition 0.0.4 strictly enough
+// to prove our output is machine-readable: every non-comment line must be
+// `name{k="v",...} value` with a float value; TYPE lines must precede
+// their family's samples.
+func parseExposition(t *testing.T, body string) []promSample {
+	t.Helper()
+	typed := map[string]string{}
+	var samples []promSample
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := promSample{labels: map[string]string{}}
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			sp.name = rest[:i]
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("line %d: unbalanced braces: %q", ln+1, line)
+			}
+			for _, pair := range strings.Split(rest[i+1:j], ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("line %d: malformed label %q", ln+1, pair)
+				}
+				uq, err := strconv.Unquote(v)
+				if err != nil {
+					t.Fatalf("line %d: label %q: %v", ln+1, pair, err)
+				}
+				sp.labels[k] = uq
+			}
+			rest = strings.TrimSpace(rest[j+1:])
+		} else {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+			}
+			sp.name, rest = fields[0], fields[1]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil && strings.TrimSpace(rest) != "+Inf" {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		sp.value = v
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(sp.name, "_bucket"), "_sum"), "_count")
+		if typed[family] == "" && typed[sp.name] == "" {
+			t.Fatalf("line %d: sample %q has no preceding TYPE", ln+1, sp.name)
+		}
+		samples = append(samples, sp)
+	}
+	return samples
+}
+
+func TestMetricszPrometheusExposition(t *testing.T) {
+	srv := NewServer(Options{})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	do := func(method, path, body string) {
+		req, _ := http.NewRequest(method, hs.URL+path, strings.NewReader(body))
+		resp, err := hs.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	do("PUT", "/blob/ctn", "")
+	do("PUT", "/blob/ctn/b.bin", "hello")
+	do("GET", "/blob/ctn/b.bin", "")
+	do("GET", "/blob/absent/missing.bin", "") // 404 → error counter
+
+	resp, err := hs.Client().Get(hs.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metricsz status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, string(body))
+
+	find := func(name string, labels map[string]string) *promSample {
+		for i := range samples {
+			if samples[i].name != name {
+				continue
+			}
+			ok := true
+			for k, v := range labels {
+				if samples[i].labels[k] != v {
+					ok = false
+				}
+			}
+			if ok {
+				return &samples[i]
+			}
+		}
+		return nil
+	}
+	get := find("azurebench_requests_total", map[string]string{"method": "GET", "service": "blob"})
+	if get == nil || get.value != 2 {
+		t.Fatalf("GET blob requests = %+v, want 2", get)
+	}
+	errs := find("azurebench_request_errors_total", map[string]string{"method": "GET", "service": "blob"})
+	if errs == nil || errs.value != 1 {
+		t.Fatalf("GET blob errors = %+v, want 1", errs)
+	}
+	// Histogram invariants per series: cumulative buckets monotone,
+	// terminal +Inf bucket equal to _count.
+	type key struct{ m, s string }
+	lastBucket := map[key]float64{}
+	infSeen := map[key]float64{}
+	counts := map[key]float64{}
+	for _, sp := range samples {
+		k := key{sp.labels["method"], sp.labels["service"]}
+		switch sp.name {
+		case "azurebench_request_duration_seconds_bucket":
+			if sp.value < lastBucket[k] {
+				t.Fatalf("bucket counts not monotone for %v", k)
+			}
+			lastBucket[k] = sp.value
+			if sp.labels["le"] == "+Inf" {
+				infSeen[k] = sp.value
+			}
+		case "azurebench_request_duration_seconds_count":
+			counts[k] = sp.value
+		}
+	}
+	if len(counts) == 0 {
+		t.Fatal("no histogram series emitted")
+	}
+	for k, n := range counts {
+		inf, ok := infSeen[k]
+		if !ok {
+			t.Fatalf("series %v missing +Inf bucket", k)
+		}
+		if inf != n {
+			t.Fatalf("series %v: +Inf bucket %v != count %v", k, inf, n)
+		}
+	}
+}
+
+func TestMetricszRejectsNonGet(t *testing.T) {
+	srv := NewServer(Options{})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	req, _ := http.NewRequest(http.MethodPost, hs.URL+"/metricsz", nil)
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+}

@@ -26,9 +26,10 @@ func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 			writeBusy(w)
 			return
 		}
-		writeXML(w, http.StatusOK, queueListXML{
-			Queues: s.Queue.ListQueues(r.URL.Query().Get("prefix")),
-		})
+		done := engineStart(r)
+		queues := s.Queue.ListQueues(r.URL.Query().Get("prefix"))
+		done()
+		writeXML(w, http.StatusOK, queueListXML{Queues: queues})
 		return
 	}
 	name := parts[0]
@@ -46,13 +47,13 @@ func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQueueRoot(w http.ResponseWriter, r *http.Request, name string) {
 	switch {
 	case r.Method == http.MethodPut:
-		if err := s.Queue.CreateQueue(name); err != nil {
+		if err := engineDo(r, func() error { return s.Queue.CreateQueue(name) }); err != nil {
 			writeError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusCreated)
 	case r.Method == http.MethodDelete:
-		if err := s.Queue.DeleteQueue(name); err != nil {
+		if err := engineDo(r, func() error { return s.Queue.DeleteQueue(name) }); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -60,7 +61,9 @@ func (s *Server) handleQueueRoot(w http.ResponseWriter, r *http.Request, name st
 	case r.Method == http.MethodGet || r.Method == http.MethodHead:
 		// Queue metadata: the approximate message count header drives the
 		// paper's barrier.
+		done := engineStart(r)
 		n, err := s.Queue.ApproximateCount(name)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -106,7 +109,9 @@ func (s *Server) handleQueueMessages(w http.ResponseWriter, r *http.Request, nam
 		s.putMessage(w, r, name)
 	case sub == "messages" && r.Method == http.MethodGet && q.Get("peekonly") == "true":
 		max := intOr(q.Get("numofmessages"), 1)
+		done := engineStart(r)
 		msgs, err := s.Queue.Peek(name, max)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -115,21 +120,23 @@ func (s *Server) handleQueueMessages(w http.ResponseWriter, r *http.Request, nam
 	case sub == "messages" && r.Method == http.MethodGet:
 		max := intOr(q.Get("numofmessages"), 1)
 		vis := time.Duration(intOr(q.Get("visibilitytimeout"), 0)) * time.Second
+		done := engineStart(r)
 		msgs, err := s.Queue.Get(name, max, vis)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		writeXML(w, http.StatusOK, messagesOut(msgs))
 	case sub == "messages" && r.Method == http.MethodDelete:
-		if err := s.Queue.ClearMessages(name); err != nil {
+		if err := engineDo(r, func() error { return s.Queue.ClearMessages(name) }); err != nil {
 			writeError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case r.Method == http.MethodDelete: // messages/{id}
 		id := sub[len("messages/"):]
-		if err := s.Queue.Delete(name, id, q.Get("popreceipt")); err != nil {
+		if err := engineDo(r, func() error { return s.Queue.Delete(name, id, q.Get("popreceipt")) }); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -142,7 +149,9 @@ func (s *Server) handleQueueMessages(w http.ResponseWriter, r *http.Request, nam
 			return
 		}
 		vis := time.Duration(intOr(q.Get("visibilitytimeout"), 0)) * time.Second
+		done := engineStart(r)
 		msg, err := s.Queue.Update(name, id, q.Get("popreceipt"), body, vis)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -162,7 +171,7 @@ func (s *Server) putMessage(w http.ResponseWriter, r *http.Request, name string)
 		return
 	}
 	ttl := time.Duration(intOr(r.URL.Query().Get("messagettl"), 0)) * time.Second
-	if _, err := s.Queue.Put(name, body, ttl); err != nil {
+	if err := engineDo(r, func() error { _, e := s.Queue.Put(name, body, ttl); return e }); err != nil {
 		writeError(w, err)
 		return
 	}

@@ -16,6 +16,7 @@
 package rest
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"net/http"
@@ -28,6 +29,7 @@ import (
 	"azurebench/internal/queuestore"
 	"azurebench/internal/storecommon"
 	"azurebench/internal/tablestore"
+	"azurebench/internal/trace"
 	"azurebench/internal/vclock"
 )
 
@@ -70,6 +72,12 @@ type Server struct {
 	// geoStats backs GET /stats (Get Service Stats); nil means no
 	// geo-replication is configured.
 	geoStats func() GeoStats
+
+	// traceLog, when attached via SetTrace, records one server-side
+	// trace.Op per request, parented under the client span carried by the
+	// request's traceparent header; ids mints the server span IDs.
+	traceLog *trace.Log
+	ids      *trace.IDGen
 }
 
 // NewServer builds an emulator with fresh engines.
@@ -108,6 +116,7 @@ func NewServer(opts Options) *Server {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("/stats", s.handleServiceStats)
 	return s
 }
@@ -116,9 +125,18 @@ func NewServer(opts Options) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("x-ms-version", "2011-08-18")
 	sw := &statusWriter{ResponseWriter: w}
-	start := time.Now()
+	var rt *reqTrace
+	if s.traceLog != nil {
+		rt = &reqTrace{}
+		r = r.WithContext(context.WithValue(r.Context(), reqTraceKey{}, rt))
+	}
+	startAt := time.Now()
 	s.mux.ServeHTTP(sw, r)
-	s.observe(r, sw.status, time.Since(start))
+	elapsed := time.Since(startAt)
+	s.observe(r, sw.status, elapsed)
+	if rt != nil {
+		s.recordTrace(r, sw, rt, startAt, elapsed)
+	}
 }
 
 // --- throttling ---

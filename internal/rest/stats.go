@@ -31,11 +31,13 @@ type endpointStats struct {
 	lat       metrics.Histogram
 }
 
-// statusWriter records the status code a handler writes so the
-// instrumentation can classify the response after the fact.
+// statusWriter records the status code a handler writes (and the body
+// bytes it moves) so the instrumentation can classify the response after
+// the fact.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status  int
+	written int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -49,7 +51,9 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
 	}
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.written += int64(n)
+	return n, err
 }
 
 // endpointKey reduces a request to its stats key: method + first path

@@ -36,7 +36,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 			writeMethodNotAllowed(w, r)
 			return
 		}
-		if err := s.Table.DeleteTable(name); err != nil {
+		if err := engineDo(r, func() error { return s.Table.DeleteTable(name) }); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -56,13 +56,15 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 			writeError(w, storecommon.Errf(storecommon.CodeInvalidInput, 400, "bad body: %v", err))
 			return
 		}
-		if err := s.Table.CreateTable(body.TableName); err != nil {
+		if err := engineDo(r, func() error { return s.Table.CreateTable(body.TableName) }); err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{"TableName": body.TableName})
 	case http.MethodGet:
+		done := engineStart(r)
 		names := s.Table.ListTables("")
+		done()
 		type entry struct {
 			TableName string `json:"TableName"`
 		}
@@ -120,7 +122,9 @@ func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request, resource
 			writeError(w, err)
 			return
 		}
+		done := engineStart(r)
 		stored, err := s.Table.Insert(table, e)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -134,7 +138,9 @@ func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request, resource
 			NextPartitionKey: r.Header.Get("x-ms-continuation-NextPartitionKey"),
 			NextRowKey:       r.Header.Get("x-ms-continuation-NextRowKey"),
 		}
+		done := engineStart(r)
 		res, err := s.Table.Query(table, q.Get("$filter"), top, from)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -162,7 +168,9 @@ func (s *Server) handleEntityByKey(w http.ResponseWriter, r *http.Request, table
 	ifMatch := r.Header.Get("If-Match")
 	switch r.Method {
 	case http.MethodGet:
+		done := engineStart(r)
 		e, err := s.Table.Get(table, pk, rk)
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -177,11 +185,13 @@ func (s *Server) handleEntityByKey(w http.ResponseWriter, r *http.Request, table
 		}
 		e.PartitionKey, e.RowKey = pk, rk
 		var stored *tablestore.Entity
+		done := engineStart(r)
 		if ifMatch == "" {
 			stored, err = s.Table.InsertOrReplace(table, e)
 		} else {
 			stored, err = s.Table.Replace(table, e, ifMatch)
 		}
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -196,11 +206,13 @@ func (s *Server) handleEntityByKey(w http.ResponseWriter, r *http.Request, table
 		}
 		e.PartitionKey, e.RowKey = pk, rk
 		var stored *tablestore.Entity
+		done := engineStart(r)
 		if ifMatch == "" {
 			stored, err = s.Table.InsertOrMerge(table, e)
 		} else {
 			stored, err = s.Table.Merge(table, e, ifMatch)
 		}
+		done()
 		if err != nil {
 			writeError(w, err)
 			return
@@ -213,7 +225,7 @@ func (s *Server) handleEntityByKey(w http.ResponseWriter, r *http.Request, table
 				"DELETE requires If-Match (use * for unconditional)"))
 			return
 		}
-		if err := s.Table.Delete(table, pk, rk, ifMatch); err != nil {
+		if err := engineDo(r, func() error { return s.Table.Delete(table, pk, rk, ifMatch) }); err != nil {
 			writeError(w, err)
 			return
 		}

@@ -64,6 +64,9 @@ func (sp *Spec) Apply(cfg *core.Config) {
 	if sp.Seed != 0 {
 		cfg.Seed = sp.Seed
 	}
+	if sp.Trace {
+		cfg.TraceOps = true
+	}
 	cp := sp.Config
 	if cp.Workers != nil {
 		cfg.Workers = append([]int(nil), cp.Workers...)
@@ -169,6 +172,15 @@ func Run(s *core.Suite, sp *Spec, opts Options) (*Result, error) {
 		}
 	default:
 		return nil, fmt.Errorf("scenario %q: unsupported driver %q", sp.Name, sp.Driver)
+	}
+	// Trace-derived stage metrics extend the SLO-addressable namespace
+	// whenever the run traced (spec trace: true, or the CLI's -trace /
+	// -tracefile flags): SLOs can then gate on stage percentiles like
+	// trace.stage.server.p99_ms.
+	if l := s.TraceLog(); l != nil {
+		for k, v := range traceMetrics(l) {
+			m[k] = v
+		}
 	}
 	return &Result{
 		Spec:    sp,

@@ -202,3 +202,46 @@ func TestSLOMissingMetricFails(t *testing.T) {
 		t.Errorf("missing-metric rendering should suggest near names:\n%s", out)
 	}
 }
+
+func TestTraceSpecFieldAndStageMetrics(t *testing.T) {
+	src := strings.Replace(tinySpec, "driver: workload", "driver: workload\ntrace: true", 1)
+	sp, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !sp.Trace {
+		t.Fatal("trace: true not decoded")
+	}
+	// Apply must switch tracing on even when the base config has it off.
+	cfg := core.QuickConfig()
+	cfg.Seed = 42
+	sp.Apply(&cfg)
+	if !cfg.TraceOps {
+		t.Fatal("Apply did not set TraceOps")
+	}
+	res, err := Run(core.NewSuite(cfg), sp, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, key := range []string{
+		"trace.ops", "trace.errors", "trace.orphans",
+		"trace.stage.server.p50_ms", "trace.stage.server.p99_ms",
+		"trace.stage.server.total_ms",
+	} {
+		if _, ok := res.Metrics[key]; !ok {
+			t.Errorf("metric %q missing", key)
+		}
+	}
+	if res.Metrics["trace.ops"] <= 0 {
+		t.Fatalf("trace.ops = %v, want > 0", res.Metrics["trace.ops"])
+	}
+	if res.Metrics["trace.orphans"] != 0 {
+		t.Fatalf("trace.orphans = %v, want 0 (no eviction in a quick run)", res.Metrics["trace.orphans"])
+	}
+	// A stage-percentile SLO must be evaluable.
+	sp.SLOs = []Assertion{{Metric: "trace.stage.server.p99_ms", Op: ">", Value: 0}}
+	verdicts := EvaluateSLOs(sp.SLOs, res.Metrics)
+	if len(verdicts) != 1 || !verdicts[0].Pass {
+		t.Fatalf("stage SLO verdicts = %+v", verdicts)
+	}
+}

@@ -25,6 +25,10 @@ type Spec struct {
 	Title  string
 	Driver string // "experiment" | "workload"
 	Seed   int64  // optional seed override (0 = inherit the CLI/base config)
+	// Trace turns on operation tracing for the run (core.Config.TraceOps),
+	// which adds trace-derived stage metrics (trace.stage.<stage>.p99_ms
+	// and friends) to the SLO-addressable metric map.
+	Trace bool
 
 	Experiment string // experiment id for driver: experiment
 
@@ -500,6 +504,9 @@ func decodeSpec(s *section) *Spec {
 		Driver:     s.str("driver"),
 		Seed:       s.int64v("seed", 0),
 		Experiment: s.str("experiment"),
+	}
+	if tp := s.boolp("trace"); tp != nil {
+		sp.Trace = *tp
 	}
 	if cfg := s.child("config"); cfg != nil {
 		sp.Config = decodeConfig(cfg)

@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"sort"
+
+	"azurebench/internal/trace"
+	"azurebench/internal/tracegraph"
+)
+
+// traceMetrics flattens a run's operation trace into SLO-addressable
+// metrics: global counts plus per-stage latency percentiles over the
+// per-op stage durations (ops carrying the stage form the population).
+//
+//	trace.ops                      traced operations retained
+//	trace.errors                   traced operations with an error code
+//	trace.orphans                  spans whose parent was evicted
+//	trace.stage.<stage>.p50_ms     per-stage percentile (likewise p95/p99)
+//	trace.stage.<stage>.total_ms   summed stage time
+func traceMetrics(l *trace.Log) map[string]float64 {
+	tr := tracegraph.FromOps(l.Ops(), l.Dropped(), l.EvictedBefore())
+	m := map[string]float64{}
+	m["trace.ops"] = float64(len(tr.Ops))
+	var errs int
+	for _, op := range tr.Ops {
+		if op.Err != "" {
+			errs++
+		}
+	}
+	m["trace.errors"] = float64(errs)
+	m["trace.orphans"] = float64(tr.Forest().Orphans)
+
+	// Pool stage samples across (service, op) groups: SLO stage gates are
+	// about pipeline behaviour, not a single op name. Profiles pads every
+	// group member with zero samples for stages it lacks; only non-zero
+	// samples enter the pool so a stage's percentile reflects the ops that
+	// actually passed through it.
+	pool := map[string][]float64{}
+	totals := map[string]float64{}
+	for _, op := range tr.Ops {
+		for st, d := range op.Spans {
+			if d <= 0 {
+				continue
+			}
+			pool[st] = append(pool[st], ms(d))
+			totals[st] += ms(d)
+		}
+	}
+	for st := range pool {
+		sort.Float64s(pool[st])
+		d := metricsDist(pool[st])
+		m["trace.stage."+st+".p50_ms"] = d.percentile(50)
+		m["trace.stage."+st+".p95_ms"] = d.percentile(95)
+		m["trace.stage."+st+".p99_ms"] = d.percentile(99)
+		m["trace.stage."+st+".total_ms"] = totals[st]
+	}
+	return m
+}
+
+// metricsDist is a minimal sorted-sample percentile helper (the samples
+// here are already milliseconds, so metrics.Dist's Duration API does not
+// fit).
+type metricsDist []float64
+
+func (d metricsDist) percentile(p float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	rank := int(p / 100 * float64(len(d)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(d) {
+		rank = len(d)
+	}
+	return d[rank-1]
+}

@@ -27,13 +27,13 @@ type BlobProps struct {
 
 // CreateContainer creates a container.
 func (b *BlobClient) CreateContainer(name string) error {
-	_, err := b.c.do(request{method: http.MethodPut, path: "/blob/" + esc(name)})
+	_, err := b.c.do(request{op: "CreateContainer", method: http.MethodPut, path: "/blob/" + esc(name)})
 	return err
 }
 
 // DeleteContainer deletes a container.
 func (b *BlobClient) DeleteContainer(name string) error {
-	_, err := b.c.do(request{method: http.MethodDelete, path: "/blob/" + esc(name)})
+	_, err := b.c.do(request{op: "DeleteContainer", method: http.MethodDelete, path: "/blob/" + esc(name)})
 	return err
 }
 
@@ -43,7 +43,7 @@ func (b *BlobClient) ListBlobs(container, prefix string) ([]string, error) {
 	if prefix != "" {
 		q.Set("prefix", prefix)
 	}
-	resp, err := b.c.do(request{method: http.MethodGet, path: "/blob/" + esc(container), query: q})
+	resp, err := b.c.do(request{op: "ListBlobs", method: http.MethodGet, path: "/blob/" + esc(container), query: q})
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func (b *BlobClient) ListContainers(prefix string) ([]string, error) {
 	if prefix != "" {
 		q.Set("prefix", prefix)
 	}
-	resp, err := b.c.do(request{method: http.MethodGet, path: "/blob/", query: q})
+	resp, err := b.c.do(request{op: "ListContainers", method: http.MethodGet, path: "/blob/", query: q})
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +81,7 @@ func blobPath(container, blob string) string {
 
 // Upload uploads a block blob in one shot (<= 64 MB).
 func (b *BlobClient) Upload(container, blob string, data []byte) error {
-	_, err := b.c.do(request{
+	_, err := b.c.do(request{op: "Upload",
 		method:  http.MethodPut,
 		path:    blobPath(container, blob),
 		headers: map[string]string{"x-ms-blob-type": "BlockBlob"},
@@ -92,7 +92,7 @@ func (b *BlobClient) Upload(container, blob string, data []byte) error {
 
 // PutBlock stages an uncommitted block.
 func (b *BlobClient) PutBlock(container, blob, blockID string, data []byte) error {
-	_, err := b.c.do(request{
+	_, err := b.c.do(request{op: "PutBlock",
 		method: http.MethodPut,
 		path:   blobPath(container, blob),
 		query:  url.Values{"comp": {"block"}, "blockid": {blockID}},
@@ -111,7 +111,7 @@ func (b *BlobClient) PutBlockList(container, blob string, blockIDs []string) err
 	if err != nil {
 		return err
 	}
-	_, err = b.c.do(request{
+	_, err = b.c.do(request{op: "PutBlockList",
 		method: http.MethodPut,
 		path:   blobPath(container, blob),
 		query:  url.Values{"comp": {"blocklist"}},
@@ -122,7 +122,7 @@ func (b *BlobClient) PutBlockList(container, blob string, blockIDs []string) err
 
 // GetBlockList returns the committed and uncommitted block ids.
 func (b *BlobClient) GetBlockList(container, blob string) (committed, uncommitted []string, err error) {
-	resp, err := b.c.do(request{
+	resp, err := b.c.do(request{op: "GetBlockList",
 		method: http.MethodGet,
 		path:   blobPath(container, blob),
 		query:  url.Values{"comp": {"blocklist"}},
@@ -142,7 +142,7 @@ func (b *BlobClient) GetBlockList(container, blob string) (committed, uncommitte
 
 // CreatePageBlob creates a page blob of the given size.
 func (b *BlobClient) CreatePageBlob(container, blob string, size int64) error {
-	_, err := b.c.do(request{
+	_, err := b.c.do(request{op: "CreatePageBlob",
 		method: http.MethodPut,
 		path:   blobPath(container, blob),
 		headers: map[string]string{
@@ -155,7 +155,7 @@ func (b *BlobClient) CreatePageBlob(container, blob string, size int64) error {
 
 // PutPages writes 512-aligned pages at off.
 func (b *BlobClient) PutPages(container, blob string, off int64, data []byte) error {
-	_, err := b.c.do(request{
+	_, err := b.c.do(request{op: "PutPages",
 		method: http.MethodPut,
 		path:   blobPath(container, blob),
 		query:  url.Values{"comp": {"page"}},
@@ -170,7 +170,7 @@ func (b *BlobClient) PutPages(container, blob string, off int64, data []byte) er
 
 // ClearPages zeroes the 512-aligned range [off, off+n).
 func (b *BlobClient) ClearPages(container, blob string, off, n int64) error {
-	_, err := b.c.do(request{
+	_, err := b.c.do(request{op: "ClearPages",
 		method: http.MethodPut,
 		path:   blobPath(container, blob),
 		query:  url.Values{"comp": {"page"}},
@@ -187,7 +187,7 @@ type PageRange struct{ Start, End int64 }
 
 // GetPageRanges lists valid page ranges.
 func (b *BlobClient) GetPageRanges(container, blob string) ([]PageRange, error) {
-	resp, err := b.c.do(request{
+	resp, err := b.c.do(request{op: "GetPageRanges",
 		method: http.MethodGet,
 		path:   blobPath(container, blob),
 		query:  url.Values{"comp": {"pagelist"}},
@@ -206,7 +206,7 @@ func (b *BlobClient) GetPageRanges(container, blob string) ([]PageRange, error) 
 
 // Download fetches the blob's full content.
 func (b *BlobClient) Download(container, blob string) ([]byte, error) {
-	resp, err := b.c.do(request{method: http.MethodGet, path: blobPath(container, blob)})
+	resp, err := b.c.do(request{op: "Download", method: http.MethodGet, path: blobPath(container, blob)})
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +215,7 @@ func (b *BlobClient) Download(container, blob string) ([]byte, error) {
 
 // DownloadRange fetches [off, off+n).
 func (b *BlobClient) DownloadRange(container, blob string, off, n int64) ([]byte, error) {
-	resp, err := b.c.do(request{
+	resp, err := b.c.do(request{op: "DownloadRange",
 		method:  http.MethodGet,
 		path:    blobPath(container, blob),
 		headers: map[string]string{"x-ms-range": rangeHeader(off, n)},
@@ -228,7 +228,7 @@ func (b *BlobClient) DownloadRange(container, blob string, off, n int64) ([]byte
 
 // Props fetches blob properties via HEAD.
 func (b *BlobClient) Props(container, blob string) (BlobProps, error) {
-	resp, err := b.c.do(request{method: http.MethodHead, path: blobPath(container, blob)})
+	resp, err := b.c.do(request{op: "Props", method: http.MethodHead, path: blobPath(container, blob)})
 	if err != nil {
 		return BlobProps{}, err
 	}
@@ -245,13 +245,13 @@ func (b *BlobClient) Props(container, blob string) (BlobProps, error) {
 
 // Delete removes a blob.
 func (b *BlobClient) Delete(container, blob string) error {
-	_, err := b.c.do(request{method: http.MethodDelete, path: blobPath(container, blob)})
+	_, err := b.c.do(request{op: "Delete", method: http.MethodDelete, path: blobPath(container, blob)})
 	return err
 }
 
 // Snapshot captures a snapshot and returns its timestamp.
 func (b *BlobClient) Snapshot(container, blob string) (time.Time, error) {
-	resp, err := b.c.do(request{
+	resp, err := b.c.do(request{op: "Snapshot",
 		method: http.MethodPut,
 		path:   blobPath(container, blob),
 		query:  url.Values{"comp": {"snapshot"}},
@@ -264,7 +264,7 @@ func (b *BlobClient) Snapshot(container, blob string) (time.Time, error) {
 
 // DownloadSnapshot fetches the content of a snapshot.
 func (b *BlobClient) DownloadSnapshot(container, blob string, ts time.Time) ([]byte, error) {
-	resp, err := b.c.do(request{
+	resp, err := b.c.do(request{op: "DownloadSnapshot",
 		method: http.MethodGet,
 		path:   blobPath(container, blob),
 		query:  url.Values{"snapshot": {ts.UTC().Format(time.RFC3339Nano)}},
@@ -278,7 +278,7 @@ func (b *BlobClient) DownloadSnapshot(container, blob string, ts time.Time) ([]b
 // AcquireLease acquires a lease (seconds in 15..60, or -1 for infinite)
 // and returns the lease id.
 func (b *BlobClient) AcquireLease(container, blob string, seconds int) (string, error) {
-	resp, err := b.c.do(request{
+	resp, err := b.c.do(request{op: "AcquireLease",
 		method: http.MethodPut,
 		path:   blobPath(container, blob),
 		query:  url.Values{"comp": {"lease"}},
@@ -295,7 +295,7 @@ func (b *BlobClient) AcquireLease(container, blob string, seconds int) (string, 
 
 // ReleaseLease releases a held lease.
 func (b *BlobClient) ReleaseLease(container, blob, leaseID string) error {
-	_, err := b.c.do(request{
+	_, err := b.c.do(request{op: "ReleaseLease",
 		method: http.MethodPut,
 		path:   blobPath(container, blob),
 		query:  url.Values{"comp": {"lease"}},
@@ -309,7 +309,7 @@ func (b *BlobClient) ReleaseLease(container, blob, leaseID string) error {
 
 // BreakLease forcibly breaks any lease.
 func (b *BlobClient) BreakLease(container, blob string) error {
-	_, err := b.c.do(request{
+	_, err := b.c.do(request{op: "BreakLease",
 		method:  http.MethodPut,
 		path:    blobPath(container, blob),
 		query:   url.Values{"comp": {"lease"}},

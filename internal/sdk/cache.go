@@ -26,7 +26,7 @@ type CacheItem struct {
 
 // CreateCache registers a named cache (idempotent).
 func (cc *CacheClient) CreateCache(name string) error {
-	_, err := cc.c.do(request{method: http.MethodPut, path: "/cache/" + esc(name)})
+	_, err := cc.c.do(request{op: "CreateCache", method: http.MethodPut, path: "/cache/" + esc(name)})
 	return err
 }
 
@@ -41,7 +41,7 @@ func (cc *CacheClient) Put(cache, key string, value []byte, ttl time.Duration) (
 	if ttl > 0 {
 		q.Set("ttl", strconv.Itoa(int(ttl.Seconds())))
 	}
-	resp, err := cc.c.do(request{method: http.MethodPut, path: cachePath(cache, key), query: q, body: value})
+	resp, err := cc.c.do(request{op: "Put", method: http.MethodPut, path: cachePath(cache, key), query: q, body: value})
 	if err != nil {
 		return 0, err
 	}
@@ -54,7 +54,7 @@ func (cc *CacheClient) PutIfVersion(cache, key string, value []byte, version uin
 	if ttl > 0 {
 		q.Set("ttl", strconv.Itoa(int(ttl.Seconds())))
 	}
-	resp, err := cc.c.do(request{method: http.MethodPut, path: cachePath(cache, key), query: q, body: value})
+	resp, err := cc.c.do(request{op: "PutIfVersion", method: http.MethodPut, path: cachePath(cache, key), query: q, body: value})
 	if err != nil {
 		return 0, err
 	}
@@ -64,7 +64,7 @@ func (cc *CacheClient) PutIfVersion(cache, key string, value []byte, version uin
 // Get fetches key; a miss surfaces as a not-found error (check with
 // IsNotFound).
 func (cc *CacheClient) Get(cache, key string) (CacheItem, error) {
-	resp, err := cc.c.do(request{method: http.MethodGet, path: cachePath(cache, key)})
+	resp, err := cc.c.do(request{op: "Get", method: http.MethodGet, path: cachePath(cache, key)})
 	if err != nil {
 		return CacheItem{}, err
 	}
@@ -75,7 +75,7 @@ func (cc *CacheClient) Get(cache, key string) (CacheItem, error) {
 // GetAndLock fetches key and locks it for d.
 func (cc *CacheClient) GetAndLock(cache, key string, d time.Duration) (CacheItem, error) {
 	q := url.Values{"lock": {strconv.Itoa(int(d.Seconds()))}}
-	resp, err := cc.c.do(request{method: http.MethodGet, path: cachePath(cache, key), query: q})
+	resp, err := cc.c.do(request{op: "GetAndLock", method: http.MethodGet, path: cachePath(cache, key), query: q})
 	if err != nil {
 		return CacheItem{}, err
 	}
@@ -93,7 +93,7 @@ func (cc *CacheClient) PutAndUnlock(cache, key string, value []byte, lock string
 	if ttl > 0 {
 		q.Set("ttl", strconv.Itoa(int(ttl.Seconds())))
 	}
-	resp, err := cc.c.do(request{method: http.MethodPut, path: cachePath(cache, key), query: q, body: value})
+	resp, err := cc.c.do(request{op: "PutAndUnlock", method: http.MethodPut, path: cachePath(cache, key), query: q, body: value})
 	if err != nil {
 		return 0, err
 	}
@@ -103,12 +103,12 @@ func (cc *CacheClient) PutAndUnlock(cache, key string, value []byte, lock string
 // Unlock releases a lock without writing.
 func (cc *CacheClient) Unlock(cache, key, lock string) error {
 	q := url.Values{"unlock": {"true"}, "lock": {lock}}
-	_, err := cc.c.do(request{method: http.MethodDelete, path: cachePath(cache, key), query: q})
+	_, err := cc.c.do(request{op: "Unlock", method: http.MethodDelete, path: cachePath(cache, key), query: q})
 	return err
 }
 
 // Remove deletes key (not-found error when absent).
 func (cc *CacheClient) Remove(cache, key string) error {
-	_, err := cc.c.do(request{method: http.MethodDelete, path: cachePath(cache, key)})
+	_, err := cc.c.do(request{op: "Remove", method: http.MethodDelete, path: cachePath(cache, key)})
 	return err
 }

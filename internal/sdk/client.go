@@ -19,6 +19,8 @@ import (
 
 	"azurebench/internal/retry"
 	"azurebench/internal/storecommon"
+	"azurebench/internal/trace"
+	"azurebench/internal/vclock"
 )
 
 // Client is a connection to one emulator endpoint.
@@ -30,6 +32,14 @@ type Client struct {
 	// Live retry telemetry (atomic: SDK clients are shared by goroutines).
 	retryCount   atomic.Int64
 	backoffSlept atomic.Int64 // nanoseconds
+
+	// Tracing (enabled via SetTrace): ids mints W3C traceparent identities
+	// stamped into every request header; traceLog, when non-nil, records a
+	// client-perceived trace.Op per attempt, with retried attempts chained
+	// as parent -> child so live retry storms reconstruct as causal trees.
+	ids      *trace.IDGen
+	traceLog *trace.Log
+	name     string
 }
 
 // RetryStats reports how many retries the client has performed and the
@@ -123,6 +133,29 @@ func New(baseURL string, httpClient *http.Client, policy RetryPolicy) *Client {
 	}
 }
 
+// SetTrace enables end-to-end causal tracing: every request carries a
+// W3C traceparent header (trace id minted per logical operation, span id
+// per attempt, seeded from seed — deterministic, no global rand), and when
+// l is non-nil each attempt is also recorded client-side as a trace.Op
+// with retry chains linked parent -> child. name labels the ops' Client
+// field ("sdk" when empty). Pass l=nil with a seed to stamp headers
+// without recording; call with seed=="" to disable tracing entirely.
+func (c *Client) SetTrace(l *trace.Log, name, seed string) {
+	if seed == "" {
+		c.ids, c.traceLog = nil, nil
+		return
+	}
+	c.ids = trace.NewIDGen("sdk/" + seed)
+	c.traceLog = l
+	if name == "" {
+		name = "sdk"
+	}
+	c.name = name
+}
+
+// Trace returns the client-side op log (nil when not recording).
+func (c *Client) Trace() *trace.Log { return c.traceLog }
+
 // Blob returns the blob service client.
 func (c *Client) Blob() *BlobClient { return &BlobClient{c: c} }
 
@@ -134,11 +167,26 @@ func (c *Client) Table() *TableClient { return &TableClient{c: c} }
 
 // request describes one REST call.
 type request struct {
+	op      string // typed operation name (e.g. "PutBlock"), for tracing
 	method  string
 	path    string // service-relative, e.g. "/blob/c/b"
 	query   url.Values
 	headers map[string]string
 	body    []byte
+}
+
+// service derives the storage service from the request path ("mgmt" for
+// control-plane routes like /stats).
+func (r request) service() string {
+	p := strings.TrimPrefix(r.path, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		p = p[:i]
+	}
+	switch p {
+	case "blob", "queue", "table", "cache":
+		return p
+	}
+	return "mgmt"
 }
 
 // response captures what callers need.
@@ -161,8 +209,48 @@ func (c *Client) do(req request) (*response, error) {
 	}
 	start := time.Now()
 	retries := 0
+	var traceID, parentID string
+	var backoff time.Duration // slept before the upcoming attempt
+	if c.ids != nil {
+		traceID = c.ids.TraceID()
+	}
 	for {
-		resp, err := c.once(req)
+		var spanID string
+		var tp string
+		if c.ids != nil {
+			spanID = c.ids.SpanID()
+			tp = trace.Traceparent(traceID, spanID)
+		}
+		attemptStart := time.Now()
+		resp, err := c.once(req, tp)
+		if c.traceLog != nil {
+			op := trace.Op{
+				// Offsets from the shared vclock epoch keep client and
+				// server ops on one timeline when the emulator runs on the
+				// wall clock.
+				Start:    attemptStart.Add(-backoff).Sub(vclock.Epoch),
+				Duration: time.Since(attemptStart) + backoff,
+				Client:   c.name,
+				Service:  req.service(),
+				Name:     req.op,
+				Bytes:    int64(len(req.body)),
+				TraceID:  traceID,
+				SpanID:   spanID,
+				ParentID: parentID,
+			}
+			if backoff > 0 {
+				op.Spans = append(op.Spans, trace.Span{Stage: trace.StageRetryBackoff, Dur: backoff})
+			}
+			if err == nil {
+				op.Bytes += int64(len(resp.body))
+				if resp.status >= 400 {
+					op.Err = resp.headers.Get("x-ms-error-code")
+				}
+			} else {
+				op.Err = string(storecommon.CodeOf(err))
+			}
+			c.traceLog.Record(op)
+		}
 		if err == nil && resp.status < 400 {
 			return resp, nil
 		}
@@ -179,11 +267,13 @@ func (c *Client) do(req request) (*response, error) {
 		if pol.OnBackoff != nil {
 			pol.OnBackoff(retries, d)
 		}
+		parentID = spanID // the next attempt is caused by this one failing
+		backoff = d
 		time.Sleep(d)
 	}
 }
 
-func (c *Client) once(req request) (*response, error) {
+func (c *Client) once(req request, traceparent string) (*response, error) {
 	u := c.base + req.path
 	if len(req.query) > 0 {
 		u += "?" + req.query.Encode()
@@ -198,6 +288,12 @@ func (c *Client) once(req request) (*response, error) {
 	}
 	for k, v := range req.headers {
 		hreq.Header.Set(k, v)
+	}
+	if traceparent != "" {
+		hreq.Header.Set("traceparent", traceparent)
+		if req.op != "" {
+			hreq.Header.Set("x-bench-op", req.op)
+		}
 	}
 	hresp, err := c.http.Do(hreq)
 	if err != nil {

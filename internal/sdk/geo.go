@@ -21,7 +21,7 @@ type ServiceStats struct {
 // RA-GRS account this is meaningful against the secondary endpoint, where
 // LastSyncTime bounds the staleness of every read.
 func (c *Client) GetServiceStats() (ServiceStats, error) {
-	resp, err := c.do(request{method: http.MethodGet, path: "/stats"})
+	resp, err := c.do(request{op: "GetServiceStats", method: http.MethodGet, path: "/stats"})
 	if err != nil {
 		return ServiceStats{}, err
 	}

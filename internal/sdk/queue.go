@@ -26,13 +26,13 @@ type Message struct {
 
 // Create creates a queue.
 func (q *QueueClient) Create(name string) error {
-	_, err := q.c.do(request{method: http.MethodPut, path: "/queue/" + esc(name)})
+	_, err := q.c.do(request{op: "Create", method: http.MethodPut, path: "/queue/" + esc(name)})
 	return err
 }
 
 // Delete deletes a queue.
 func (q *QueueClient) Delete(name string) error {
-	_, err := q.c.do(request{method: http.MethodDelete, path: "/queue/" + esc(name)})
+	_, err := q.c.do(request{op: "Delete", method: http.MethodDelete, path: "/queue/" + esc(name)})
 	return err
 }
 
@@ -42,7 +42,7 @@ func (q *QueueClient) List(prefix string) ([]string, error) {
 	if prefix != "" {
 		vals.Set("prefix", prefix)
 	}
-	resp, err := q.c.do(request{method: http.MethodGet, path: "/queue/", query: vals})
+	resp, err := q.c.do(request{op: "List", method: http.MethodGet, path: "/queue/", query: vals})
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +70,7 @@ func (q *QueueClient) Put(name string, body []byte, ttl time.Duration) error {
 	if ttl > 0 {
 		vals.Set("messagettl", strconv.Itoa(int(ttl.Seconds())))
 	}
-	_, err = q.c.do(request{
+	_, err = q.c.do(request{op: "Put",
 		method: http.MethodPost,
 		path:   "/queue/" + esc(name) + "/messages",
 		query:  vals,
@@ -95,7 +95,7 @@ func (q *QueueClient) Peek(name string, max int) ([]Message, error) {
 }
 
 func (q *QueueClient) fetch(name string, vals url.Values) ([]Message, error) {
-	resp, err := q.c.do(request{
+	resp, err := q.c.do(request{op: "fetch",
 		method: http.MethodGet,
 		path:   "/queue/" + esc(name) + "/messages",
 		query:  vals,
@@ -135,7 +135,7 @@ func (q *QueueClient) fetch(name string, vals url.Values) ([]Message, error) {
 
 // DeleteMessage deletes a dequeued message with its pop receipt.
 func (q *QueueClient) DeleteMessage(name, msgID, popReceipt string) error {
-	_, err := q.c.do(request{
+	_, err := q.c.do(request{op: "DeleteMessage",
 		method: http.MethodDelete,
 		path:   "/queue/" + esc(name) + "/messages/" + esc(msgID),
 		query:  url.Values{"popreceipt": {popReceipt}},
@@ -150,7 +150,7 @@ func (q *QueueClient) Update(name, msgID, popReceipt string, body []byte, visibi
 	if err != nil {
 		return "", err
 	}
-	resp, err := q.c.do(request{
+	resp, err := q.c.do(request{op: "Update",
 		method: http.MethodPut,
 		path:   "/queue/" + esc(name) + "/messages/" + esc(msgID),
 		query: url.Values{
@@ -167,7 +167,7 @@ func (q *QueueClient) Update(name, msgID, popReceipt string, body []byte, visibi
 
 // ApproximateCount returns the approximate message count.
 func (q *QueueClient) ApproximateCount(name string) (int, error) {
-	resp, err := q.c.do(request{method: http.MethodGet, path: "/queue/" + esc(name)})
+	resp, err := q.c.do(request{op: "ApproximateCount", method: http.MethodGet, path: "/queue/" + esc(name)})
 	if err != nil {
 		return 0, err
 	}
@@ -176,6 +176,6 @@ func (q *QueueClient) ApproximateCount(name string) (int, error) {
 
 // Clear removes all messages.
 func (q *QueueClient) Clear(name string) error {
-	_, err := q.c.do(request{method: http.MethodDelete, path: "/queue/" + esc(name) + "/messages"})
+	_, err := q.c.do(request{op: "Clear", method: http.MethodDelete, path: "/queue/" + esc(name) + "/messages"})
 	return err
 }

@@ -19,19 +19,19 @@ type TableClient struct {
 // Create creates a table.
 func (t *TableClient) Create(name string) error {
 	body, _ := json.Marshal(map[string]string{"TableName": name})
-	_, err := t.c.do(request{method: http.MethodPost, path: "/table/Tables", body: body})
+	_, err := t.c.do(request{op: "Create", method: http.MethodPost, path: "/table/Tables", body: body})
 	return err
 }
 
 // Delete deletes a table.
 func (t *TableClient) Delete(name string) error {
-	_, err := t.c.do(request{method: http.MethodDelete, path: "/table/Tables('" + esc(name) + "')"})
+	_, err := t.c.do(request{op: "Delete", method: http.MethodDelete, path: "/table/Tables('" + esc(name) + "')"})
 	return err
 }
 
 // List lists table names.
 func (t *TableClient) List() ([]string, error) {
-	resp, err := t.c.do(request{method: http.MethodGet, path: "/table/Tables"})
+	resp, err := t.c.do(request{op: "List", method: http.MethodGet, path: "/table/Tables"})
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +74,7 @@ func (t *TableClient) Insert(table string, e *tablestore.Entity) (string, error)
 	if err != nil {
 		return "", err
 	}
-	resp, err := t.c.do(request{method: http.MethodPost, path: "/table/" + esc(table), body: body})
+	resp, err := t.c.do(request{op: "Insert", method: http.MethodPost, path: "/table/" + esc(table), body: body})
 	if err != nil {
 		return "", err
 	}
@@ -83,7 +83,7 @@ func (t *TableClient) Insert(table string, e *tablestore.Entity) (string, error)
 
 // Get retrieves an entity by key.
 func (t *TableClient) Get(table, pk, rk string) (*tablestore.Entity, error) {
-	resp, err := t.c.do(request{method: http.MethodGet, path: entityPath(table, pk, rk)})
+	resp, err := t.c.do(request{op: "Get", method: http.MethodGet, path: entityPath(table, pk, rk)})
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +117,7 @@ func (t *TableClient) write(method, table string, e *tablestore.Entity, ifMatch 
 	if ifMatch != "" {
 		headers["If-Match"] = ifMatch
 	}
-	resp, err := t.c.do(request{
+	resp, err := t.c.do(request{op: "write",
 		method:  method,
 		path:    entityPath(table, e.PartitionKey, e.RowKey),
 		headers: headers,
@@ -132,7 +132,7 @@ func (t *TableClient) write(method, table string, e *tablestore.Entity, ifMatch 
 // DeleteEntity deletes an entity under an ETag condition ("*" for
 // unconditional).
 func (t *TableClient) DeleteEntity(table, pk, rk, ifMatch string) error {
-	_, err := t.c.do(request{
+	_, err := t.c.do(request{op: "DeleteEntity",
 		method:  http.MethodDelete,
 		path:    entityPath(table, pk, rk),
 		headers: map[string]string{"If-Match": ifMatch},
@@ -160,7 +160,7 @@ func (t *TableClient) Query(table, filter string, top int, from tablestore.Conti
 		headers["x-ms-continuation-NextPartitionKey"] = from.NextPartitionKey
 		headers["x-ms-continuation-NextRowKey"] = from.NextRowKey
 	}
-	resp, err := t.c.do(request{
+	resp, err := t.c.do(request{op: "Query",
 		method:  http.MethodGet,
 		path:    "/table/" + esc(table),
 		query:   q,

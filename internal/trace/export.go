@@ -20,6 +20,9 @@ type jsonOp struct {
 	Err     string           `json:"err,omitempty"`
 	Fault   string           `json:"fault,omitempty"`
 	Tag     string           `json:"tag,omitempty"`
+	Trace   string           `json:"trace_id,omitempty"`
+	Span    string           `json:"span_id,omitempty"`
+	Parent  string           `json:"parent_id,omitempty"`
 	Spans   map[string]int64 `json:"spans,omitempty"`
 }
 
@@ -50,6 +53,9 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 			Err:     op.Err,
 			Fault:   op.Fault,
 			Tag:     op.Tag,
+			Trace:   op.TraceID,
+			Span:    op.SpanID,
+			Parent:  op.ParentID,
 		}
 		if len(op.Spans) > 0 {
 			jo.Spans = make(map[string]int64, len(op.Spans))

@@ -99,3 +99,38 @@ func TestWriteJSONLEvictionMetadata(t *testing.T) {
 		t.Fatalf("exported %d ops, retained %d", n, l.Len())
 	}
 }
+
+func TestWriteJSONLCarriesIdentity(t *testing.T) {
+	l := New(100)
+	l.Record(Op{
+		Start: time.Second, Duration: time.Millisecond,
+		Client: "vm0", Service: "blob", Name: "PutBlock",
+		TraceID: "t0000000000000001", SpanID: "s01", ParentID: "s00",
+	})
+	l.Record(Op{Start: 2 * time.Second, Service: "queue", Name: "PutMessage"})
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	var ids struct {
+		TraceID  string `json:"trace_id"`
+		SpanID   string `json:"span_id"`
+		ParentID string `json:"parent_id"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ids); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if ids.TraceID != "t0000000000000001" || ids.SpanID != "s01" || ids.ParentID != "s00" {
+		t.Fatalf("identity fields = %+v", ids)
+	}
+	// Untraced ops must not bloat the export with empty identity keys.
+	for _, key := range []string{"trace_id", "span_id", "parent_id"} {
+		if strings.Contains(lines[1], key) {
+			t.Fatalf("id-less op exported %q: %s", key, lines[1])
+		}
+	}
+}

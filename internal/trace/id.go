@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// IDGen generates W3C-traceparent-shaped trace and span IDs (16-byte and
+// 8-byte hex) deterministically: the sequence is a pure function of the
+// seed string, so two runs of the same seeded simulation export
+// byte-identical IDs. It deliberately does not touch the simulation's
+// PRNG streams (attaching tracing must not perturb the modelled
+// behaviour) nor any global rand.
+type IDGen struct {
+	mu    sync.Mutex
+	state uint64
+	n     uint64
+}
+
+// NewIDGen seeds a generator from an arbitrary string (typically the
+// region or station name, so distinct clouds emit disjoint IDs).
+func NewIDGen(seed string) *IDGen {
+	// FNV-1a folds the seed into the initial state; splitmix64 below
+	// whitens it so even short seeds yield well-spread IDs.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(seed); i++ {
+		h ^= uint64(seed[i])
+		h *= 1099511628211
+	}
+	return &IDGen{state: h}
+}
+
+// next is one splitmix64 step over state+counter.
+func (g *IDGen) next() uint64 {
+	g.n++
+	z := g.state + g.n*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TraceID returns a fresh 32-hex-char (16-byte) trace identifier.
+func (g *IDGen) TraceID() string {
+	g.mu.Lock()
+	a, b := g.next(), g.next()
+	g.mu.Unlock()
+	var buf [16]byte
+	putU64(buf[:8], a)
+	putU64(buf[8:], b)
+	return hex.EncodeToString(buf[:])
+}
+
+// SpanID returns a fresh 16-hex-char (8-byte) span identifier.
+func (g *IDGen) SpanID() string {
+	g.mu.Lock()
+	a := g.next()
+	g.mu.Unlock()
+	var buf [8]byte
+	putU64(buf[:], a)
+	return hex.EncodeToString(buf[:])
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// Traceparent formats a trace/span pair as a W3C traceparent header value
+// (version 00, sampled flag set).
+func Traceparent(traceID, spanID string) string {
+	return fmt.Sprintf("00-%s-%s-01", traceID, spanID)
+}
+
+// ParseTraceparent extracts the trace and span IDs from a traceparent
+// header value, returning ok=false on anything malformed.
+func ParseTraceparent(v string) (traceID, spanID string, ok bool) {
+	// 00-<32 hex>-<16 hex>-<2 hex flags>
+	if len(v) != 55 || v[0] != '0' || v[1] != '0' || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return "", "", false
+	}
+	traceID, spanID = v[3:35], v[36:52]
+	if !isHex(traceID) || !isHex(spanID) || !isHex(v[53:]) {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

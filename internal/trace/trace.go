@@ -57,6 +57,15 @@ type Op struct {
 	Err      string // storage error code, "" on success
 	Fault    string // injected fault kind ("timeout", "reset", ...), "" if none
 	Tag      string // free-form annotation (partition split/merge/migrate details)
+	// TraceID/SpanID/ParentID make ops nodes of a causal tree (W3C
+	// traceparent style: 16-byte trace id, 8-byte span id, hex). All
+	// attempts of a retried op and any replication work it causes share a
+	// TraceID; ParentID names the span that caused this op ("" for roots).
+	// Empty IDs mean the recorder was not identity-aware — such ops are
+	// standalone roots.
+	TraceID  string
+	SpanID   string
+	ParentID string
 	// Spans is the per-stage breakdown of Duration; the stage durations sum
 	// to Duration exactly. Empty when the recorder did not attribute stages.
 	Spans []Span

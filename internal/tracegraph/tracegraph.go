@@ -1,0 +1,324 @@
+// Package tracegraph reconstructs causal trees from JSONL trace exports
+// (azurebench -tracefile, or a live emulator's trace log) and analyses
+// them: per-request critical paths through pipeline stages, tail-latency
+// attribution against median stage profiles, and stage-wise diffs between
+// two traces. It is the analysis half of the end-to-end tracing story —
+// the recording half lives in internal/trace and the propagation in
+// internal/cloud, internal/sdk, and internal/rest.
+//
+// The package is deliberately pure: it reads exported data and computes;
+// it never consults the wall clock or any random source, so analyses are
+// reproducible byte-for-byte from the same input.
+package tracegraph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"azurebench/internal/trace"
+)
+
+// Op is one operation parsed from a JSONL trace export.
+type Op struct {
+	Start    time.Duration
+	Duration time.Duration
+	Client   string
+	Service  string
+	Name     string
+	Bytes    int64
+	Err      string
+	Fault    string
+	Tag      string
+	TraceID  string
+	SpanID   string
+	ParentID string
+	Spans    map[string]time.Duration
+}
+
+// End returns the op's end time.
+func (o Op) End() time.Duration { return o.Start + o.Duration }
+
+// SpanSum returns the total duration attributed to stages.
+func (o Op) SpanSum() time.Duration {
+	var sum time.Duration
+	for _, d := range o.Spans {
+		sum += d
+	}
+	return sum
+}
+
+// Meta captures the non-op lines of an export: the eviction metadata line
+// and any experiment section markers azurebench interleaves.
+type Meta struct {
+	Dropped       uint64
+	EvictedBefore time.Duration
+	Experiments   []string
+}
+
+// Trace is one loaded trace file.
+type Trace struct {
+	Ops  []Op
+	Meta Meta
+}
+
+// jsonLine is the union of every line shape a trace export contains: op
+// lines, the eviction metadata line, and experiment markers.
+type jsonLine struct {
+	// op fields
+	StartNs int64            `json:"start_ns"`
+	DurNs   int64            `json:"dur_ns"`
+	Client  string           `json:"client"`
+	Service string           `json:"service"`
+	Op      string           `json:"op"`
+	Bytes   int64            `json:"bytes"`
+	Err     string           `json:"err"`
+	Fault   string           `json:"fault"`
+	Tag     string           `json:"tag"`
+	Trace   string           `json:"trace_id"`
+	Span    string           `json:"span_id"`
+	Parent  string           `json:"parent_id"`
+	Spans   map[string]int64 `json:"spans"`
+	// metadata fields
+	Dropped         uint64 `json:"dropped"`
+	EvictedBeforeNs int64  `json:"evicted_before_ns"`
+	Experiment      string `json:"experiment"`
+}
+
+// FromOps builds a Trace directly from recorded operations, bypassing
+// the JSONL round-trip — the path for in-process consumers (the scenario
+// runner's trace-derived SLO metrics) that hold a live trace.Log.
+func FromOps(ops []trace.Op, dropped uint64, evictedBefore time.Duration) *Trace {
+	t := &Trace{Meta: Meta{Dropped: dropped, EvictedBefore: evictedBefore}}
+	for _, op := range ops {
+		o := Op{
+			Start:    op.Start,
+			Duration: op.Duration,
+			Client:   op.Client,
+			Service:  op.Service,
+			Name:     op.Name,
+			Bytes:    op.Bytes,
+			Err:      op.Err,
+			Fault:    op.Fault,
+			Tag:      op.Tag,
+			TraceID:  op.TraceID,
+			SpanID:   op.SpanID,
+			ParentID: op.ParentID,
+		}
+		if len(op.Spans) > 0 {
+			o.Spans = make(map[string]time.Duration, len(op.Spans))
+			for _, sp := range op.Spans {
+				o.Spans[sp.Stage] += sp.Dur
+			}
+		}
+		t.Ops = append(t.Ops, o)
+	}
+	return t
+}
+
+// Read parses a JSONL trace export. It tolerates the leading eviction
+// metadata line and azurebench's per-experiment marker lines, recording
+// both in Meta.
+func Read(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var jl jsonLine
+		if err := json.Unmarshal(raw, &jl); err != nil {
+			return nil, fmt.Errorf("tracegraph: line %d: %w", line, err)
+		}
+		switch {
+		case jl.Experiment != "":
+			t.Meta.Experiments = append(t.Meta.Experiments, jl.Experiment)
+		case jl.Op == "" && jl.Service == "":
+			// Metadata line (or an empty object): fold in eviction info.
+			t.Meta.Dropped += jl.Dropped
+			if d := time.Duration(jl.EvictedBeforeNs); d > t.Meta.EvictedBefore {
+				t.Meta.EvictedBefore = d
+			}
+		default:
+			op := Op{
+				Start:    time.Duration(jl.StartNs),
+				Duration: time.Duration(jl.DurNs),
+				Client:   jl.Client,
+				Service:  jl.Service,
+				Name:     jl.Op,
+				Bytes:    jl.Bytes,
+				Err:      jl.Err,
+				Fault:    jl.Fault,
+				Tag:      jl.Tag,
+				TraceID:  jl.Trace,
+				SpanID:   jl.Span,
+				ParentID: jl.Parent,
+			}
+			if len(jl.Spans) > 0 {
+				op.Spans = make(map[string]time.Duration, len(jl.Spans))
+				for st, ns := range jl.Spans {
+					op.Spans[st] = time.Duration(ns)
+				}
+			}
+			t.Ops = append(t.Ops, op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracegraph: %w", err)
+	}
+	return t, nil
+}
+
+// Node is one op placed in a causal tree.
+type Node struct {
+	Op       Op
+	Children []*Node // sorted by start time, then span id
+	// Orphaned marks a node whose ParentID did not resolve (the parent
+	// was evicted or the timeline is partial); it is grouped with the
+	// roots so no data disappears, but flagged for the caller.
+	Orphaned bool
+}
+
+// Forest is the causal-tree view of a trace.
+type Forest struct {
+	Roots []*Node // root and orphaned nodes, sorted by start time
+	// Orphans counts the non-root nodes whose parent is missing.
+	Orphans int
+	// Standalone counts ops recorded without span identity (pre-tracing
+	// recorders); they appear as single-node roots.
+	Standalone int
+}
+
+// Forest reconstructs causal trees: every op with a ParentID attaches
+// under the op owning that span ID; ops without identity stand alone.
+func (t *Trace) Forest() *Forest {
+	f := &Forest{}
+	bySpan := map[string]*Node{}
+	nodes := make([]*Node, len(t.Ops))
+	for i, op := range t.Ops {
+		n := &Node{Op: op}
+		nodes[i] = n
+		if op.SpanID != "" {
+			bySpan[op.SpanID] = n
+		}
+	}
+	for _, n := range nodes {
+		switch {
+		case n.Op.SpanID == "":
+			f.Standalone++
+			f.Roots = append(f.Roots, n)
+		case n.Op.ParentID == "":
+			f.Roots = append(f.Roots, n)
+		default:
+			parent := bySpan[n.Op.ParentID]
+			if parent == nil || parent == n {
+				n.Orphaned = true
+				f.Orphans++
+				f.Roots = append(f.Roots, n)
+				continue
+			}
+			parent.Children = append(parent.Children, n)
+		}
+	}
+	order := func(a, b *Node) bool {
+		if a.Op.Start != b.Op.Start {
+			return a.Op.Start < b.Op.Start
+		}
+		return a.Op.SpanID < b.Op.SpanID
+	}
+	for _, n := range nodes {
+		sort.Slice(n.Children, func(i, j int) bool { return order(n.Children[i], n.Children[j]) })
+	}
+	sort.Slice(f.Roots, func(i, j int) bool { return order(f.Roots[i], f.Roots[j]) })
+	return f
+}
+
+// Walk visits the node and its descendants depth-first.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// PathStep is one op on a critical path with its stage breakdown.
+type PathStep struct {
+	Op     Op
+	Stages map[string]time.Duration
+}
+
+// CriticalPath returns the causal continuation chain from root: the root
+// itself, then at each node the child that continues the request in time
+// (starts at or after the node ends — a retry attempt or failed-over
+// reissue), preferring the latest-ending continuation. Children contained
+// within the node's window (server-side detail of a client op) or running
+// asynchronously after it (geo-replication fan-out) describe parallel
+// work and are not part of the request's latency chain.
+//
+// Each step's Stages are the op's own span durations, so a step's stage
+// sum equals that op's duration whenever the recorder attributed stages —
+// the invariant Verify checks.
+func CriticalPath(root *Node) []PathStep {
+	var path []PathStep
+	for n := root; n != nil; {
+		step := PathStep{Op: n.Op, Stages: map[string]time.Duration{}}
+		for st, d := range n.Op.Spans {
+			step.Stages[st] += d
+		}
+		path = append(path, step)
+		var next *Node
+		for _, c := range n.Children {
+			if c.Op.Client != n.Op.Client {
+				continue // a different actor: server detail or async fan-out
+			}
+			// A continuation follows its cause; retried attempts embed the
+			// backoff slept after the failure in their own window, so the
+			// child may start slightly before the parent's recorded end
+			// only when overlapped — require non-overlap.
+			if c.Op.Start >= n.Op.End() {
+				if next == nil || c.Op.End() > next.Op.End() {
+					next = c
+				}
+			}
+		}
+		n = next
+	}
+	return path
+}
+
+// VerifyReport summarises the structural invariants of a trace.
+type VerifyReport struct {
+	Ops        int
+	Identified int // ops carrying span identity
+	Orphans    int // identified non-roots whose parent is missing
+	Standalone int
+	// SpanMismatches counts ops whose per-stage durations do not sum to
+	// the op duration (the recorder contract is exact partition).
+	SpanMismatches int
+}
+
+// Complete reports whether every non-root span resolved its parent.
+func (v VerifyReport) Complete() bool { return v.Orphans == 0 }
+
+// Verify checks the causal-tree invariants: parent resolution and exact
+// stage partition of each op's duration.
+func (t *Trace) Verify() VerifyReport {
+	f := t.Forest()
+	rep := VerifyReport{Ops: len(t.Ops), Orphans: f.Orphans, Standalone: f.Standalone}
+	for _, op := range t.Ops {
+		if op.SpanID != "" {
+			rep.Identified++
+		}
+		if len(op.Spans) > 0 && op.SpanSum() != op.Duration {
+			rep.SpanMismatches++
+		}
+	}
+	return rep
+}
