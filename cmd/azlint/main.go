@@ -1,17 +1,34 @@
-// Command azlint is the repository's determinism-and-safety linter: a
-// multichecker for the five analyzers in internal/analysis (walltime,
-// seededrand, maporder, errdrop, simblock).
+// Command azlint is the repository's determinism-and-safety linter: an
+// interprocedural multichecker for the eight analyzers in
+// internal/analysis (walltime, seededrand, maporder, digestunsafe,
+// errdrop, simblock, lockorder, hotalloc). Wall-clock, global-rand and
+// map-order taint is tracked across function and package boundaries
+// through per-function fact summaries, and diagnostics report the full
+// call chain at the sim-facing call site.
 //
-// It is normally run through the go command, which handles package
-// loading, caching and export data:
+// It is normally run standalone on package patterns (loading the whole
+// program via `go list -export -deps` and the gc export-data importer),
+// with the committed legacy-debt baseline applied:
 //
 //	go build -o bin/azlint ./cmd/azlint
+//	bin/azlint -baseline azlint.baseline ./...
+//
+// (`make lint` does exactly that.) Flags:
+//
+//	-fix          apply the suggested mechanical fixes in place
+//	-json         emit findings as a JSON array on stdout
+//	-sarif        emit SARIF 2.1.0 on stdout (for code scanning);
+//	              baseline-suppressed findings carry suppressions[]
+//	-o FILE       write -json/-sarif output to FILE instead of stdout
+//	-baseline F   suppress findings listed in F (one
+//	              "<basename>: <analyzer>: <message>" per line)
+//	-debt         print the suppression-debt table (allows + baseline
+//	              entries per analyzer) instead of findings
+//
+// It also still speaks the go vet -vettool protocol, exchanging its
+// facts through the vet driver's per-package vetx files:
+//
 //	go vet -vettool=bin/azlint ./...
-//
-// (`make lint` does exactly that.) It also runs standalone on package
-// patterns, loading via `go list`:
-//
-//	go run ./cmd/azlint ./...
 //
 // Deliberate violations are suppressed in source with a mandatory
 // justification: //azlint:allow <analyzer>(<reason>).

@@ -21,31 +21,60 @@ import (
 //	//azlint:allow seededrand(live-mode default jitter source)
 //	jitter = rand.Float64
 //
+// Several suppressions can share one directive, each with its own
+// reason:
+//
+//	//azlint:allow walltime(live probe) seededrand(live jitter)
+//
 // The reason is mandatory — a suppression without a justification is
 // itself a diagnostic — and the analyzer name must be one of the
-// registered checks so typos cannot silently disable nothing.
+// registered checks so typos cannot silently disable nothing. A
+// directive that suppresses nothing while its analyzer runs is reported
+// as stale: paid-down debt must leave the tree.
 const allowPrefix = "//azlint:allow"
 
-// Anchored at the start only: trailing text after the closing paren is
-// tolerated so explanatory prose (or a fixture's `// want`) can follow.
+// Anchored at the start only: trailing text after the last closing paren
+// is tolerated so explanatory prose (or a fixture's `// want`) can
+// follow.
 var allowRE = regexp.MustCompile(`^([a-z][a-z0-9]*)\(([^)]*)\)`)
 
-// allowSite records one parsed, well-formed directive.
+// allowSite records one parsed, well-formed suppression.
 type allowSite struct {
 	analyzer string
 	file     string
 	line     int
+	reason   string
+	pos      token.Pos
+	// used flips when the site suppresses a diagnostic or sanctions a
+	// taint seed; a site left unused while its analyzer runs is stale.
+	used bool
+}
+
+// allowCovers reports whether an allow for analyzer covers (file, line)
+// — i.e. a directive sits on that line or the one above — marking the
+// site used.
+func allowCovers(allows []*allowSite, analyzer, file string, line int) bool {
+	hit := false
+	for _, a := range allows {
+		if a.analyzer == analyzer && a.file == file && (a.line == line || a.line == line-1) {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // parseAllows scans the files' comments for azlint directives. It
 // returns the valid suppressions and a diagnostic (analyzer "azlint")
-// for every malformed one.
-func parseAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) ([]allowSite, []Diagnostic) {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
+// for every malformed one. Names are validated against the full
+// registry, not just the analyzers being run, so single-analyzer runs
+// (the fixture harness) do not misreport other analyzers' directives.
+func parseAllows(fset *token.FileSet, files []*ast.File) ([]*allowSite, []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range All() {
 		known[a.Name] = true
 	}
-	var allows []allowSite
+	var allows []*allowSite
 	var diags []Diagnostic
 	bad := func(pos token.Pos, format string, args ...any) {
 		diags = append(diags, Diagnostic{
@@ -61,53 +90,77 @@ func parseAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) 
 					continue
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
-				m := allowRE.FindStringSubmatch(rest)
-				if m == nil {
+				// One or more analyzer(reason) groups; parsing stops at the
+				// first token that is not one (treated as trailing prose).
+				matched := false
+				for {
+					m := allowRE.FindStringSubmatch(rest)
+					if m == nil {
+						break
+					}
+					matched = true
+					name, reason := m[1], strings.TrimSpace(m[2])
+					if !known[name] {
+						bad(c.Pos(), "unknown analyzer %q", name)
+					} else if reason == "" {
+						bad(c.Pos(), "empty reason for %q — justify the suppression", name)
+					} else {
+						allows = append(allows, &allowSite{
+							analyzer: name,
+							file:     fset.Position(c.Pos()).Filename,
+							line:     fset.Position(c.Pos()).Line,
+							reason:   reason,
+							pos:      c.Pos(),
+						})
+					}
+					rest = strings.TrimSpace(rest[len(m[0]):])
+				}
+				if !matched {
 					bad(c.Pos(), "want //azlint:allow analyzer(reason), got %q", c.Text)
-					continue
 				}
-				name, reason := m[1], strings.TrimSpace(m[2])
-				if !known[name] {
-					bad(c.Pos(), "unknown analyzer %q", name)
-					continue
-				}
-				if reason == "" {
-					bad(c.Pos(), "empty reason for %q — justify the suppression", name)
-					continue
-				}
-				allows = append(allows, allowSite{
-					analyzer: name,
-					file:     fset.Position(c.Pos()).Filename,
-					line:     fset.Position(c.Pos()).Line,
-				})
 			}
 		}
 	}
 	return allows, diags
 }
 
-// filterAllowed drops diagnostics covered by a suppression.
-func filterAllowed(fset *token.FileSet, diags []Diagnostic, allows []allowSite) []Diagnostic {
+// filterAllowed drops diagnostics covered by a suppression, marking the
+// covering sites used.
+func filterAllowed(fset *token.FileSet, diags []Diagnostic, allows []*allowSite) []Diagnostic {
 	if len(allows) == 0 {
 		return diags
-	}
-	type key struct {
-		analyzer string
-		file     string
-		line     int
-	}
-	covered := make(map[key]bool, 2*len(allows))
-	for _, a := range allows {
-		covered[key{a.analyzer, a.file, a.line}] = true
-		covered[key{a.analyzer, a.file, a.line + 1}] = true
 	}
 	out := diags[:0]
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
-		if covered[key{d.Analyzer, pos.Filename, pos.Line}] {
+		if allowCovers(allows, d.Analyzer, pos.Filename, pos.Line) {
 			continue
 		}
 		out = append(out, d)
 	}
 	return out
+}
+
+// staleAllows reports directives that suppressed nothing even though
+// their analyzer ran — dead debt that must be removed. Directives for
+// analyzers outside the run set are left alone (a walltime allow is not
+// stale just because only seededrand ran).
+func staleAllows(allows []*allowSite, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, a := range allows {
+		if a.used || !ran[a.analyzer] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      a.pos,
+			Analyzer: "azlint",
+			Message: fmt.Sprintf("stale //azlint:allow %s directive: no %s diagnostic on this "+
+				"or the next line — remove the suppression", a.analyzer, a.analyzer),
+		})
+	}
+	return diags
 }

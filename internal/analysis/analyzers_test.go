@@ -11,8 +11,56 @@ func TestWalltime(t *testing.T) {
 	atest.Run(t, analysis.Walltime, "walltime/sim", "walltime/partitionmgr", "walltime/outofscope", "walltime/badallow")
 }
 
+// TestWalltimeChain pins the interprocedural behaviour: a sim-facing
+// package calling a two-hop helper chain that ends in time.Now is
+// flagged at the call site with the full chain; the equivalent helper
+// that takes an injected clock is not. The helper package itself, being
+// out of scope, reports nothing.
+func TestWalltimeChain(t *testing.T) {
+	atest.Run(t, analysis.Walltime, "walltime/chain/sim", "walltime/chain/util")
+}
+
 func TestSeededrand(t *testing.T) {
 	atest.Run(t, analysis.Seededrand, "seededrand/cloud", "seededrand/outofscope", "seededrand/tracegraph")
+}
+
+// TestSeededrandChain is the interprocedural counterpart for the global
+// math/rand source: flagged through helpers with the chain, clean when
+// a seeded *rand.Rand is threaded through.
+func TestSeededrandChain(t *testing.T) {
+	atest.Run(t, analysis.Seededrand, "seededrand/chain/cloud", "seededrand/chain/helpers")
+}
+
+func TestLockorder(t *testing.T) {
+	atest.Run(t, analysis.Lockorder, "lockorder/a")
+}
+
+func TestHotalloc(t *testing.T) {
+	atest.Run(t, analysis.Hotalloc, "hotalloc/sim", "hotalloc/util")
+}
+
+func TestDigestunsafe(t *testing.T) {
+	atest.Run(t, analysis.Digestunsafe, "digestunsafe/writer", "digestunsafe/keys")
+}
+
+// TestAllowEdgeCases covers the directive grammar's corners: several
+// analyzers sharing one directive (the half outside the run set is not
+// stale), a directive trailing the offending line, and stale directives
+// mid-file and as the last line of a file.
+func TestAllowEdgeCases(t *testing.T) {
+	atest.Run(t, analysis.Walltime, "allowedge/sim")
+}
+
+// TestSuggestedFixes round-trips the mechanical fixes: every diagnostic
+// in the fixture carries one, the fixed source still type-checks, and
+// re-running the analyzers reports nothing.
+func TestSuggestedFixes(t *testing.T) {
+	atest.RunFix(t, []*analysis.Analyzer{
+		analysis.Walltime,
+		analysis.Seededrand,
+		analysis.Maporder,
+		analysis.Digestunsafe,
+	}, "fixable/sim")
 }
 
 func TestMaporder(t *testing.T) {

@@ -1,0 +1,112 @@
+package driver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"azurebench/internal/analysis"
+)
+
+// baselineSet is the committed legacy-debt file (azlint.baseline): one
+// accepted pre-existing finding per line, formatted
+//
+//	<file-basename>: <analyzer>: <message>
+//
+// Basenames rather than paths keep the file stable across checkouts and
+// refactors that move directories; line numbers are deliberately absent
+// so unrelated edits above a finding do not invalidate its entry. Blank
+// lines and '#' comments are ignored.
+type baselineSet struct {
+	entries map[string]bool
+	hits    map[string]int // entry -> times matched this run
+}
+
+func loadBaseline(path string) (*baselineSet, error) {
+	b := &baselineSet{entries: map[string]bool{}, hits: map[string]int{}}
+	if path == "" {
+		return b, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.entries[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("baseline: %v", err)
+	}
+	return b, nil
+}
+
+func baselineKey(file, analyzer, message string) string {
+	return filepath.Base(file) + ": " + analyzer + ": " + message
+}
+
+func (b *baselineSet) matches(file, analyzer, message string) bool {
+	key := baselineKey(file, analyzer, message)
+	if !b.entries[key] {
+		return false
+	}
+	b.hits[key]++
+	return true
+}
+
+// analyzerOf extracts the analyzer name from a baseline entry.
+func analyzerOf(entry string) string {
+	parts := strings.SplitN(entry, ": ", 3)
+	if len(parts) < 3 {
+		return "?"
+	}
+	return parts[1]
+}
+
+// printDebt renders the suppression-debt report: per analyzer, how many
+// //azlint:allow directives are live in the analyzed packages and how
+// many baseline entries exist. The totals are the number of known
+// violations the tree is carrying — the trend to drive to zero.
+func printDebt(w io.Writer, allows []analysis.Allow, baseline *baselineSet) {
+	type row struct{ allows, baselined int }
+	byAnalyzer := map[string]*row{}
+	get := func(name string) *row {
+		r := byAnalyzer[name]
+		if r == nil {
+			r = &row{}
+			byAnalyzer[name] = r
+		}
+		return r
+	}
+	for _, a := range allows {
+		get(a.Analyzer).allows++
+	}
+	for entry := range baseline.entries {
+		get(analyzerOf(entry)).baselined++
+	}
+	names := make([]string, 0, len(byAnalyzer))
+	for name := range byAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-14s %8s %10s %7s\n", "analyzer", "allows", "baseline", "total")
+	totA, totB := 0, 0
+	for _, name := range names {
+		r := byAnalyzer[name]
+		fmt.Fprintf(w, "%-14s %8d %10d %7d\n", name, r.allows, r.baselined, r.allows+r.baselined)
+		totA += r.allows
+		totB += r.baselined
+	}
+	fmt.Fprintf(w, "%-14s %8d %10d %7d\n", "total", totA, totB, totA+totB)
+}

@@ -4,10 +4,18 @@
 //
 //   - the `go vet -vettool` unit-checker protocol: invoked by the go
 //     command once per package with a JSON config file (*.cfg) naming
-//     the sources and the export data of every dependency;
+//     the sources and the export data of every dependency. The
+//     interprocedural function summaries ride the protocol's facts
+//     ("vetx") files: each invocation writes its package's summaries to
+//     VetxOutput and reads its dependencies' from PackageVetx, so
+//     cross-package taint flows between separately-cached vet actions;
 //   - a standalone mode taking package patterns (`azlint ./...`), which
-//     shells out to `go list -export -deps -json` for the same
-//     information.
+//     shells out to `go list -export -deps -json` and keeps the facts
+//     in memory, processing packages in dependency order. Standalone
+//     mode is also where the reporting and repair flags live:
+//     -json/-sarif machine-readable output (-o FILE), -baseline FILE
+//     legacy-debt suppression, -debt the suppression-debt report, and
+//     -fix to apply suggested fixes to the working tree.
 //
 // golang.org/x/tools is deliberately not used: the module has no
 // dependencies, and the toolchain's export-data importer
@@ -27,6 +35,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"azurebench/internal/analysis"
@@ -55,28 +64,66 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// options are the standalone-mode flags.
+type options struct {
+	fix      bool // apply suggested fixes to the tree
+	jsonOut  bool // machine-readable JSON findings
+	sarifOut bool // SARIF 2.1.0 findings
+	debt     bool // suppression-debt report instead of findings
+	outFile  string
+	baseline string
+}
+
 // Main is the azlint entry point; it returns the process exit code
 // (0 clean, 1 diagnostics reported, 2 operational failure).
 func Main(args []string, stdout, stderr io.Writer) int {
-	if len(args) == 1 {
+	var opts options
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
 		switch {
-		case args[0] == "-flags":
-			// The go command queries a vet tool's flags before use; the
-			// suite has none.
-			fmt.Fprintln(stdout, "[]")
-			return 0
-		case strings.HasPrefix(args[0], "-V"):
-			fmt.Fprintln(stdout, "azlint version 1")
-			return 0
-		case strings.HasSuffix(args[0], ".cfg"):
-			return runVetCfg(args[0], stderr)
+		case arg == "-fix":
+			opts.fix = true
+		case arg == "-json":
+			opts.jsonOut = true
+		case arg == "-sarif":
+			opts.sarifOut = true
+		case arg == "-debt":
+			opts.debt = true
+		case strings.HasPrefix(arg, "-o="):
+			opts.outFile = arg[len("-o="):]
+		case arg == "-o" && i+1 < len(args):
+			i++
+			opts.outFile = args[i]
+		case strings.HasPrefix(arg, "-baseline="):
+			opts.baseline = arg[len("-baseline="):]
+		case arg == "-baseline" && i+1 < len(args):
+			i++
+			opts.baseline = args[i]
+		default:
+			rest = append(rest, arg)
 		}
 	}
-	if len(args) == 0 {
-		fmt.Fprintln(stderr, "usage: azlint <packages>   (or invoked by go vet -vettool)")
+	if len(rest) == 1 {
+		switch {
+		case rest[0] == "-flags":
+			// The go command queries a vet tool's flags before use; the
+			// suite has none it accepts through the protocol.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasPrefix(rest[0], "-V"):
+			fmt.Fprintln(stdout, "azlint version 2 (interprocedural)")
+			return 0
+		case strings.HasSuffix(rest[0], ".cfg"):
+			return runVetCfg(rest[0], stderr)
+		}
+	}
+	if len(rest) == 0 {
+		fmt.Fprintln(stderr, "usage: azlint [-fix] [-json|-sarif] [-o file] [-baseline file] [-debt] <packages>")
+		fmt.Fprintln(stderr, "   (or invoked by go vet -vettool)")
 		return 2
 	}
-	return runStandalone(args, stderr)
+	return runStandalone(opts, rest, stdout, stderr)
 }
 
 // --- go vet unit-checker mode ---
@@ -92,26 +139,48 @@ func runVetCfg(cfgPath string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "azlint: parsing config %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// The go command expects a facts ("vetx") output file regardless;
-	// the suite is factless, so it is always empty.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	// The go command expects a facts ("vetx") file from every
+	// invocation. Standard-library packages carry no azlint facts (the
+	// wall-clock and global-rand seeds are recognised by name), so their
+	// facts pass is a cheap empty write; module packages get their full
+	// interprocedural summary computed below.
+	writeFacts := func(pf *analysis.PkgFacts) bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		data, err := json.Marshal(pf)
+		if err != nil {
+			fmt.Fprintf(stderr, "azlint: encoding facts: %v\n", err)
+			return false
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 			fmt.Fprintf(stderr, "azlint: writing vetx output: %v\n", err)
+			return false
+		}
+		return true
+	}
+	if cfg.Standard[cfg.ImportPath] {
+		if !writeFacts(&analysis.PkgFacts{}) {
 			return 2
 		}
+		return 0
 	}
-	if cfg.VetxOnly {
-		return 0 // dependency pass: facts only, no diagnostics wanted
+
+	bail := func(err error) int {
+		// A dependency facts pass must not fail the build on source the
+		// compiler already accepted or rejected; emit empty facts.
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+			writeFacts(&analysis.PkgFacts{})
+			return 0
+		}
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	fset := token.NewFileSet()
 	files, err := parseFiles(fset, cfg.GoFiles)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
-		fmt.Fprintln(stderr, err)
-		return 1
+		return bail(err)
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
 		if mapped, ok := cfg.ImportMap[path]; ok {
@@ -125,15 +194,47 @@ func runVetCfg(cfgPath string, stderr io.Writer) int {
 	}
 	pkg, info, err := typecheck(fset, cfg.ImportPath, files, importer.ForCompiler(fset, "gc", lookup))
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
-		fmt.Fprintln(stderr, err)
-		return 1
+		return bail(err)
 	}
-	diags := analysis.Run(&analysis.Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analysis.All())
-	printDiags(stderr, fset, diags)
-	if len(diags) > 0 {
+
+	factsCache := map[string]*analysis.PkgFacts{}
+	depFacts := func(importPath string) *analysis.PkgFacts {
+		if pf, ok := factsCache[importPath]; ok {
+			return pf
+		}
+		mapped := importPath
+		if m, ok := cfg.ImportMap[importPath]; ok {
+			mapped = m
+		}
+		var pf *analysis.PkgFacts
+		for _, key := range []string{importPath, mapped} {
+			if file, ok := cfg.PackageVetx[key]; ok {
+				if data, err := os.ReadFile(file); err == nil && len(data) > 0 {
+					var decoded analysis.PkgFacts
+					if json.Unmarshal(data, &decoded) == nil {
+						pf = &decoded
+					}
+				}
+				break
+			}
+		}
+		factsCache[importPath] = pf
+		return pf
+	}
+
+	var analyzers []*analysis.Analyzer
+	if !cfg.VetxOnly {
+		analyzers = analysis.All()
+	}
+	res := analysis.Analyze(&analysis.Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers, depFacts)
+	if !writeFacts(res.Facts) {
+		return 2
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	printDiags(stderr, fset, res.Diags)
+	if len(res.Diags) > 0 {
 		return 1
 	}
 	return 0
@@ -151,7 +252,21 @@ type listPackage struct {
 	Standard   bool
 }
 
-func runStandalone(patterns []string, stderr io.Writer) int {
+// finding is one diagnostic with its resolved position, aggregated
+// across packages for the output emitters.
+type finding struct {
+	diag       analysis.Diagnostic
+	pos        token.Position
+	suppressed bool // matched by the baseline file
+}
+
+func runStandalone(opts options, patterns []string, stdout, stderr io.Writer) int {
+	baseline, err := loadBaseline(opts.baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "azlint: %v\n", err)
+		return 2
+	}
+
 	listArgs := append([]string{
 		"list", "-export", "-deps",
 		"-json=Dir,ImportPath,Export,GoFiles,DepOnly,Standard",
@@ -164,7 +279,9 @@ func runStandalone(patterns []string, stderr io.Writer) int {
 		return 2
 	}
 	exports := map[string]string{}
-	var targets []listPackage
+	// `go list -deps` emits dependencies before dependents, which is
+	// exactly the order facts must be computed in.
+	var pkgs []listPackage
 	dec := json.NewDecoder(strings.NewReader(string(out)))
 	for {
 		var p listPackage
@@ -177,8 +294,8 @@ func runStandalone(patterns []string, stderr io.Writer) int {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
-			targets = append(targets, p)
+		if !p.Standard {
+			pkgs = append(pkgs, p)
 		}
 	}
 
@@ -193,8 +310,12 @@ func runStandalone(patterns []string, stderr io.Writer) int {
 	// One importer across packages: shared dependencies load once.
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
-	exit := 0
-	for _, p := range targets {
+	factsByPath := map[string]*analysis.PkgFacts{}
+	depFacts := func(importPath string) *analysis.PkgFacts { return factsByPath[importPath] }
+
+	var findings []finding
+	var allAllows []analysis.Allow
+	for _, p := range pkgs {
 		var paths []string
 		for _, f := range p.GoFiles {
 			if !filepath.IsAbs(f) {
@@ -212,11 +333,119 @@ func runStandalone(patterns []string, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		diags := analysis.Run(&analysis.Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analysis.All())
-		printDiags(stderr, fset, diags)
-		if len(diags) > 0 {
-			exit = 1
+		var analyzers []*analysis.Analyzer
+		if !p.DepOnly {
+			analyzers = analysis.All()
 		}
+		res := analysis.Analyze(&analysis.Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers, depFacts)
+		factsByPath[p.ImportPath] = res.Facts
+		if p.DepOnly {
+			continue
+		}
+		allAllows = append(allAllows, res.Allows...)
+		for _, d := range res.Diags {
+			pos := fset.Position(d.Pos)
+			findings = append(findings, finding{
+				diag:       d,
+				pos:        pos,
+				suppressed: baseline.matches(pos.Filename, d.Analyzer, d.Message),
+			})
+		}
+	}
+
+	if opts.debt {
+		printDebt(stdout, allAllows, baseline)
+		return 0
+	}
+	if opts.fix {
+		return applyFixes(fset, findings, stdout, stderr)
+	}
+
+	output := stdout
+	if opts.outFile != "" {
+		f, err := os.Create(opts.outFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "azlint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		output = f
+	}
+	switch {
+	case opts.sarifOut:
+		if err := writeSARIF(output, findings); err != nil {
+			fmt.Fprintf(stderr, "azlint: writing SARIF: %v\n", err)
+			return 2
+		}
+	case opts.jsonOut:
+		if err := writeJSON(output, findings); err != nil {
+			fmt.Fprintf(stderr, "azlint: writing JSON: %v\n", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			if !f.suppressed {
+				fmt.Fprintf(stderr, "%s: %s [azlint:%s]\n", f.pos, f.diag.Message, f.diag.Analyzer)
+			}
+		}
+	}
+	for _, f := range findings {
+		if !f.suppressed {
+			return 1
+		}
+	}
+	return 0
+}
+
+// applyFixes applies the suggested fixes of every unsuppressed finding
+// to the working tree, then reports what remains.
+func applyFixes(fset *token.FileSet, findings []finding, stdout, stderr io.Writer) int {
+	var fixable []analysis.Diagnostic
+	src := map[string][]byte{}
+	for _, f := range findings {
+		if f.suppressed || f.diag.Fix == nil {
+			continue
+		}
+		fixable = append(fixable, f.diag)
+		for _, e := range f.diag.Fix.Edits {
+			name := fset.Position(e.Pos).Filename
+			if _, ok := src[name]; ok {
+				continue
+			}
+			data, err := os.ReadFile(name)
+			if err != nil {
+				fmt.Fprintf(stderr, "azlint: %v\n", err)
+				return 2
+			}
+			src[name] = data
+		}
+	}
+	fixed, applied := analysis.ApplyFixes(fset, fixable, src)
+	names := make([]string, 0, len(fixed))
+	for name := range fixed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	changed := 0
+	for _, name := range names {
+		data := fixed[name]
+		if string(data) == string(src[name]) {
+			continue
+		}
+		if err := os.WriteFile(name, data, 0o666); err != nil {
+			fmt.Fprintf(stderr, "azlint: %v\n", err)
+			return 2
+		}
+		changed++
+	}
+	fmt.Fprintf(stdout, "azlint -fix: applied %d fix(es) across %d file(s)\n", applied, changed)
+	exit := 0
+	for _, f := range findings {
+		if f.suppressed || f.diag.Fix != nil {
+			continue
+		}
+		fmt.Fprintf(stderr, "%s: %s [azlint:%s] (no mechanical fix)\n", f.pos, f.diag.Message, f.diag.Analyzer)
+		exit = 1
 	}
 	return exit
 }

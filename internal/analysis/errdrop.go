@@ -8,16 +8,20 @@ import (
 // errdropPkgSegments mark the client/handler API packages whose errors
 // encode throttles, faults and storage failures: dropping one silently
 // swallows a ServerBusy or an injected fault and skews every measured
-// figure.
-var errdropPkgSegments = []string{"cloud", "sdk", "rest"}
+// figure. tracegraph, scenario and georepl are included because their
+// errors are the analysis/SLO/failover results themselves: a dropped
+// tracegraph.Read error yields an empty causal forest that reads as "no
+// latency", and a dropped scenario SLO error un-gates CI.
+var errdropPkgSegments = []string{"cloud", "sdk", "rest", "tracegraph", "scenario", "georepl"}
 
-// Errdrop flags discarded error results from the cloud, sdk and rest
-// client/handler APIs — calls used as bare statements (including defer)
-// and error results assigned to the blank identifier.
+// Errdrop flags discarded error results from the cloud, sdk, rest,
+// tracegraph, scenario and georepl APIs — calls used as bare statements
+// (including defer) and error results assigned to the blank identifier.
 var Errdrop = &Analyzer{
 	Name: "errdrop",
-	Doc: "flag discarded error returns from internal/cloud, internal/sdk and internal/rest " +
-		"APIs; a swallowed ServerBusy or injected fault silently skews measured figures",
+	Doc: "flag discarded error returns from internal/cloud, internal/sdk, internal/rest, " +
+		"internal/tracegraph, internal/scenario and internal/georepl APIs; a swallowed " +
+		"ServerBusy, injected fault or SLO failure silently skews measured figures",
 	Run: runErrdrop,
 }
 

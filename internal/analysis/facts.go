@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the interprocedural substrate of the suite: a per-package
+// call graph (AST-resolved through go/types, so only static calls — no
+// interface dispatch or function values) reduced to one exported
+// summary per function. Summaries compose across packages: each
+// package's facts embed the transitive chains of its dependencies, so a
+// consumer only ever needs the facts of its direct imports. The driver
+// ships them between `go vet` actions as the package's "vetx" facts
+// file; standalone mode and the fixture harness keep them in memory.
+
+// FuncTaint is the interprocedural summary of one function: why calling
+// it makes the caller's behaviour depend on process state. Each non-nil
+// field holds the call chain from the function's first offending callee
+// down to the seed, in display form ("util.stamp", "time.Now"), so the
+// diagnostic at the sim-facing call site can show the whole path.
+type FuncTaint struct {
+	// Wallclock: the function transitively reads the wall clock
+	// (time.Now/Sleep/After/...).
+	Wallclock []string `json:"wallclock,omitempty"`
+	// GlobalRand: the function transitively draws from the
+	// process-global math/rand source.
+	GlobalRand []string `json:"globalrand,omitempty"`
+	// MapOrdered: the function returns a slice whose element order is
+	// inherited from a map iteration and never canonicalised by a sort.
+	MapOrdered []string `json:"mapordered,omitempty"`
+}
+
+// Empty reports a clean summary.
+func (t FuncTaint) Empty() bool {
+	return t.Wallclock == nil && t.GlobalRand == nil && t.MapOrdered == nil
+}
+
+// PkgFacts is the exported interprocedural summary of one package:
+// the taint of every function and method with a body, keyed by
+// types.Func.FullName ("pkg/path.Func", "(pkg/path.T).Method").
+// Functions with an empty summary are omitted.
+type PkgFacts struct {
+	Funcs map[string]FuncTaint `json:"funcs,omitempty"`
+}
+
+// Lookup returns the summary for fn's key, or a zero summary.
+func (pf *PkgFacts) Lookup(key string) FuncTaint {
+	if pf == nil {
+		return FuncTaint{}
+	}
+	return pf.Funcs[key]
+}
+
+// FactLookup resolves the facts of an imported package by import path.
+// It returns nil for packages without computed facts (standard library,
+// packages outside the module); their functions are treated as clean
+// apart from the hard-coded seeds (time.*, math/rand.*).
+type FactLookup func(importPath string) *PkgFacts
+
+// FuncKey returns the facts key for fn (generic instantiations collapse
+// to their origin).
+func FuncKey(fn *types.Func) string { return fn.Origin().FullName() }
+
+// displayName renders fn for call chains: "Type.Method" or "pkg.Func".
+func displayName(fn *types.Func) string {
+	if named := recvNamed(fn); named != nil {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return base(fn.Pkg().Path()) + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// funcInfo is the per-function slice of the package call graph.
+type funcInfo struct {
+	obj *types.Func
+	// Seeds: a direct reference (call or value use) to a wall-clock or
+	// global-rand function in this body, unless an //azlint:allow for
+	// the corresponding analyzer sanctions it (annotated sources — the
+	// harness stopwatch, the live-mode jitter default — must not taint
+	// their callers).
+	wallSeed string
+	randSeed string
+	// mapSeed: the body returns a slice it filled inside a map range
+	// without sorting it.
+	mapSeed bool
+	// calls: every statically-resolved callee, in source order.
+	calls []*types.Func
+	// retCalls: callees whose result the body returns (directly or via
+	// an unsorted local), in source order — the MapOrdered edges.
+	retCalls []*types.Func
+}
+
+// ComputeFacts builds the package call graph and propagates taint to a
+// fixed point, consulting deps for imported callees. Seeds covered by an
+// //azlint:allow directive are skipped and the directive is marked used.
+func ComputeFacts(pkg *Package, files []*ast.File, deps FactLookup, allows []*allowSite) *PkgFacts {
+	var fns []*funcInfo
+	byKey := map[string]*funcInfo{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := collectFuncInfo(pkg, fd, obj, allows)
+			fns = append(fns, fi)
+			byKey[FuncKey(obj)] = fi
+		}
+	}
+
+	taint := map[string]FuncTaint{}
+	// taintOf resolves a callee's current summary: same package from the
+	// in-progress table, imported packages from their exported facts.
+	taintOf := func(fn *types.Func) FuncTaint {
+		key := FuncKey(fn)
+		if _, ok := byKey[key]; ok && pkgPathOf(fn) == pkg.Pkg.Path() {
+			return taint[key]
+		}
+		if deps == nil {
+			return FuncTaint{}
+		}
+		return deps(pkgPathOf(fn)).Lookup(key)
+	}
+
+	// Fixed point over the intra-package graph. Iteration is in source
+	// order and each chain adopts the first tainted callee encountered,
+	// so the result — including the chain text — is deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			key := FuncKey(fi.obj)
+			t := taint[key]
+			if t.Wallclock == nil {
+				if fi.wallSeed != "" {
+					t.Wallclock = []string{fi.wallSeed}
+				} else {
+					for _, callee := range fi.calls {
+						if ct := taintOf(callee); ct.Wallclock != nil {
+							t.Wallclock = append([]string{displayName(callee)}, ct.Wallclock...)
+							break
+						}
+					}
+				}
+			}
+			if t.GlobalRand == nil {
+				if fi.randSeed != "" {
+					t.GlobalRand = []string{fi.randSeed}
+				} else {
+					for _, callee := range fi.calls {
+						if ct := taintOf(callee); ct.GlobalRand != nil {
+							t.GlobalRand = append([]string{displayName(callee)}, ct.GlobalRand...)
+							break
+						}
+					}
+				}
+			}
+			if t.MapOrdered == nil {
+				if fi.mapSeed {
+					t.MapOrdered = []string{"map-range append"}
+				} else {
+					for _, callee := range fi.retCalls {
+						if ct := taintOf(callee); ct.MapOrdered != nil {
+							t.MapOrdered = append([]string{displayName(callee)}, ct.MapOrdered...)
+							break
+						}
+					}
+				}
+			}
+			if t.Wallclock != nil || t.GlobalRand != nil || t.MapOrdered != nil {
+				if old := taint[key]; len(old.Wallclock) != len(t.Wallclock) ||
+					len(old.GlobalRand) != len(t.GlobalRand) ||
+					len(old.MapOrdered) != len(t.MapOrdered) {
+					taint[key] = t
+					changed = true
+				}
+			}
+		}
+	}
+
+	out := &PkgFacts{Funcs: map[string]FuncTaint{}}
+	for key, t := range taint {
+		if !t.Empty() {
+			out.Funcs[key] = t
+		}
+	}
+	return out
+}
+
+// collectFuncInfo walks one function body for seeds, call edges and the
+// map-ordered-return pattern. Closure bodies are attributed to the
+// enclosing declaration: conservative (the closure may never run), but
+// deterministic and safe for the contracts being checked.
+func collectFuncInfo(pkg *Package, fd *ast.FuncDecl, obj *types.Func, allows []*allowSite) *funcInfo {
+	fi := &funcInfo{obj: obj}
+	info := pkg.Info
+
+	covered := func(analyzer string, pos ast.Node) bool {
+		p := pkg.Fset.Position(pos.Pos())
+		return allowCovers(allows, analyzer, p.Filename, p.Line)
+	}
+
+	// The maporder building blocks, reused interprocedurally: slices
+	// sorted anywhere in the body, and slices appended to inside a map
+	// range.
+	sorted := collectSortTargets(info, fd.Body)
+	mapAppends := map[types.Object]bool{}
+	// Locals assigned from a call result and never sorted: if the callee
+	// turns out MapOrdered and the local is returned, the order leaks
+	// through this function too.
+	assignedFrom := map[types.Object]*types.Func{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			fn, ok := info.Uses[n.Sel].(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch pkgPathOf(fn) {
+			case "time":
+				if wallTimeFuncs[fn.Name()] && fi.wallSeed == "" && !covered(Walltime.Name, n) {
+					fi.wallSeed = "time." + fn.Name()
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandOK[fn.Name()] && fi.randSeed == "" && !covered(Seededrand.Name, n) {
+					fi.randSeed = "rand." + fn.Name()
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil {
+				fi.calls = append(fi.calls, fn)
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					for obj := range collectAppendTargets(info, n.Body) {
+						mapAppends[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if fn := calleeFunc(info, call); fn != nil {
+						if obj := rootObj(info, n.Lhs[0]); obj != nil {
+							assignedFrom[obj] = fn
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+				if fn := calleeFunc(info, call); fn != nil {
+					fi.retCalls = append(fi.retCalls, fn)
+				}
+				continue
+			}
+			obj := rootObj(info, res)
+			if obj == nil || sorted[obj] {
+				continue
+			}
+			if mapAppends[obj] {
+				fi.mapSeed = true
+			} else if fn := assignedFrom[obj]; fn != nil {
+				fi.retCalls = append(fi.retCalls, fn)
+			}
+		}
+		return true
+	})
+	return fi
+}
+
+// collectAppendTargets returns the objects appended to anywhere in body.
+func collectAppendTargets(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	targets := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(info, call) || len(call.Args) == 0 {
+				continue
+			}
+			if obj := rootObj(info, call.Args[0]); obj != nil {
+				targets[obj] = true
+			}
+		}
+		return true
+	})
+	return targets
+}

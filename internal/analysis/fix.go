@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SuggestedFix is a mechanical repair for one diagnostic: a set of
+// textual edits that, applied together, remove the finding while keeping
+// the package compiling. Analyzers attach fixes only where the rewrite
+// is provably mechanical (inserting a sort before a range, redirecting a
+// global rand call to an in-scope seeded *rand.Rand); everything else
+// stays a report.
+type SuggestedFix struct {
+	// Message describes the repair ("insert sort.Strings(keys)").
+	Message string
+	// Edits are applied atomically. Identical edits from different
+	// diagnostics (e.g. two fixes both adding the "sort" import) are
+	// deduplicated at application time.
+	Edits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+// Pos == End is a pure insertion.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// ApplyFixes applies every fix among diags to the file contents in src
+// (keyed by filename as recorded in fset) and returns the edited
+// contents plus the number of fixes applied. Edits are deduplicated,
+// sorted, and applied back-to-front; of two distinct edits overlapping
+// the same range, only the first (in diagnostic order) survives.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, src map[string][]byte) (map[string][]byte, int) {
+	type edit struct {
+		file       string
+		start, end int // byte offsets
+		text       string
+	}
+	var edits []edit
+	seen := map[string]bool{}
+	applied := 0
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		ok := true
+		var batch []edit
+		for _, e := range d.Fix.Edits {
+			start, end := fset.Position(e.Pos), fset.Position(e.End)
+			if start.Filename == "" || start.Filename != end.Filename || src[start.Filename] == nil {
+				ok = false
+				break
+			}
+			batch = append(batch, edit{start.Filename, start.Offset, end.Offset, e.NewText})
+		}
+		if !ok {
+			continue
+		}
+		applied++
+		for _, e := range batch {
+			key := fmt.Sprintf("%s\x00%d\x00%d\x00%s", e.file, e.start, e.end, e.text)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			edits = append(edits, e)
+		}
+	}
+	if len(edits) == 0 {
+		return src, 0
+	}
+
+	sort.SliceStable(edits, func(i, j int) bool {
+		if edits[i].file != edits[j].file {
+			return edits[i].file < edits[j].file
+		}
+		if edits[i].start != edits[j].start {
+			return edits[i].start < edits[j].start
+		}
+		return edits[i].end < edits[j].end
+	})
+	// Drop overlaps: keep the earlier edit.
+	kept := edits[:0]
+	for _, e := range edits {
+		if len(kept) > 0 {
+			prev := kept[len(kept)-1]
+			if prev.file == e.file && e.start < prev.end {
+				continue
+			}
+			// Two pure insertions at the same point would both survive the
+			// check above; keep only the first.
+			if prev.file == e.file && prev.start == e.start && prev.end == e.end && prev.end == e.start {
+				continue
+			}
+		}
+		kept = append(kept, e)
+	}
+
+	out := map[string][]byte{}
+	for name, data := range src {
+		out[name] = data
+	}
+	for i := len(kept) - 1; i >= 0; i-- {
+		e := kept[i]
+		data := out[e.file]
+		if e.start < 0 || e.end > len(data) || e.start > e.end {
+			continue
+		}
+		var buf []byte
+		buf = append(buf, data[:e.start]...)
+		buf = append(buf, e.text...)
+		buf = append(buf, data[e.end:]...)
+		out[e.file] = buf
+	}
+	return out, applied
+}
+
+// --- fix-construction helpers shared by the analyzers ---
+
+// enclosingFile returns the *ast.File among files containing pos.
+func enclosingFile(files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// importEdit returns an edit adding `import "path"` to f, or nil if f
+// already imports it. The insertion keeps the file compiling; gofmt can
+// re-canonicalise ordering later.
+func importEdit(f *ast.File, path string) *TextEdit {
+	quoted := strconv.Quote(path)
+	var lastDecl *ast.GenDecl
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		lastDecl = gd
+		for _, spec := range gd.Specs {
+			if is, ok := spec.(*ast.ImportSpec); ok && is.Path.Value == quoted {
+				return nil
+			}
+		}
+	}
+	if lastDecl != nil && lastDecl.Rparen.IsValid() {
+		// Parenthesised block: insert a new line just before ")".
+		return &TextEdit{Pos: lastDecl.Rparen, End: lastDecl.Rparen, NewText: "\t" + quoted + "\n"}
+	}
+	if lastDecl != nil {
+		// Single-spec `import "x"`: add a sibling declaration after it.
+		return &TextEdit{Pos: lastDecl.End(), End: lastDecl.End(), NewText: "\nimport " + quoted}
+	}
+	// No imports at all: after the package clause.
+	return &TextEdit{Pos: f.Name.End(), End: f.Name.End(), NewText: "\n\nimport " + quoted}
+}
+
+// indentAt returns the leading tabs/spaces of the line containing pos.
+func indentAt(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	// Column is 1-based; everything before the statement on its line is
+	// indentation in gofmt-ed source.
+	if p.Column <= 1 {
+		return ""
+	}
+	return strings.Repeat("\t", p.Column-1)
+}

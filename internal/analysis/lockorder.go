@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// Lockorder flags inconsistent pairwise mutex acquisition order within a
+// package: one function that locks A then B while another (or the same)
+// locks B then A. Two goroutines running those paths concurrently can
+// each hold one lock and wait forever for the other — the classic
+// deadlock class that partition-striped locking multiplies, because
+// every stripe pair is a new opportunity to get the order wrong.
+//
+// The analysis is lexical and per-function, like simblock: a lock
+// acquired and not yet released (a `defer mu.Unlock()` holds to the end
+// of the function) covers every later acquisition in the same body.
+// Lock identity is the declared variable or struct field, so ordering
+// discipline is enforced per field across all instances. Acquisition
+// sequences are then compared across every function in the package.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc: "flag inconsistent pairwise sync.Mutex/RWMutex acquisition order across the " +
+		"functions of a package; opposite nesting orders on two code paths can deadlock",
+	Run: runLockorder,
+}
+
+// lockAcq is one "B acquired while A held" observation.
+type lockAcq struct {
+	first, second types.Object
+	pos           token.Pos // of the second (inner) acquisition
+}
+
+func runLockorder(pass *Pass) {
+	var acqs []lockAcq
+	for _, f := range pass.Files {
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+			}
+			return true
+		})
+		for _, body := range bodies {
+			acqs = append(acqs, collectLockOrder(pass, body)...)
+		}
+	}
+	if len(acqs) == 0 {
+		return
+	}
+
+	type pair struct{ a, b types.Object }
+	firstAt := map[pair]token.Pos{}
+	for _, acq := range acqs {
+		p := pair{acq.first, acq.second}
+		if cur, ok := firstAt[p]; !ok || acq.pos < cur {
+			firstAt[p] = acq.pos
+		}
+	}
+	// Report at each acquisition whose reverse ordering also exists,
+	// pointing at the earliest site of the opposite direction. Both
+	// directions are real sites, but to keep the report readable one
+	// diagnostic is emitted per direction (at its earliest occurrence).
+	reported := map[pair]bool{}
+	for _, acq := range acqs {
+		p := pair{acq.first, acq.second}
+		rev := pair{acq.second, acq.first}
+		revPos, ok := firstAt[rev]
+		if !ok || reported[p] || acq.pos != firstAt[p] {
+			continue
+		}
+		reported[p] = true
+		rp := pass.Fset.Position(revPos)
+		pass.Reportf(acq.pos,
+			"%s is acquired while %s is held, but %s:%d acquires %s while %s is held; "+
+				"inconsistent lock order can deadlock — pick one order (or annotate "+
+				"//azlint:allow lockorder(reason))",
+			lockName(acq.second), lockName(acq.first),
+			filepath.Base(rp.Filename), rp.Line,
+			lockName(acq.first), lockName(acq.second))
+	}
+}
+
+// collectLockOrder replays body's lock/unlock/defer-unlock events in
+// source order and records every nested acquisition pair.
+func collectLockOrder(pass *Pass, body *ast.BlockStmt) []lockAcq {
+	var events []simblockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				return false // separate region, analysed on its own
+			}
+		case *ast.DeferStmt:
+			return false // defer mu.Unlock(): lock held to function end
+		case *ast.CallExpr:
+			if ev, ok := classifySimblockCall(pass.Info, n); ok && ev.kind != 2 {
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	var acqs []lockAcq
+	held := map[types.Object]token.Pos{}
+	var heldOrder []types.Object
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			for _, h := range heldOrder {
+				if _, still := held[h]; still && h != ev.obj {
+					acqs = append(acqs, lockAcq{first: h, second: ev.obj, pos: ev.pos})
+				}
+			}
+			if _, ok := held[ev.obj]; !ok {
+				heldOrder = append(heldOrder, ev.obj)
+			}
+			held[ev.obj] = ev.pos
+		case 1:
+			delete(held, ev.obj)
+			for i, h := range heldOrder {
+				if h == ev.obj {
+					heldOrder = append(heldOrder[:i], heldOrder[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return acqs
+}
+
+// lockName renders a lock object for diagnostics: "T.mu" for fields,
+// the plain name otherwise.
+func lockName(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return fmt.Sprintf("field %s", v.Name())
+	}
+	return obj.Name()
+}

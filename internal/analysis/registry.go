@@ -1,6 +1,9 @@
 package analysis
 
-// All returns the azlint analyzer suite in reporting order.
+// All returns the azlint analyzer suite in reporting order. The first
+// five are the original per-package determinism checks (walltime and
+// seededrand now interprocedural); lockorder, hotalloc and digestunsafe
+// ride on the interprocedural substrate.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Walltime,
@@ -8,5 +11,8 @@ func All() []*Analyzer {
 		Maporder,
 		Errdrop,
 		Simblock,
+		Lockorder,
+		Hotalloc,
+		Digestunsafe,
 	}
 }

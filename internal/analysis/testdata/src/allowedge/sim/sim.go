@@ -1,0 +1,24 @@
+// Edge cases of the //azlint:allow directive grammar, exercised under a
+// walltime-only run.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// One directive, two suppressions with their own reasons. The walltime
+// half is used by the line below; the seededrand half belongs to an
+// analyzer outside this run set, so it must not be reported stale.
+//
+//azlint:allow walltime(live probe measurement) seededrand(live jitter source)
+func both() (time.Time, float64) { return time.Now(), rand.Float64() }
+
+// Directive trailing on the same line as the code it suppresses.
+func trailing() time.Time { return time.Now() } //azlint:allow walltime(trailing directive on the offending line)
+
+// A suppression that suppresses nothing while its analyzer runs is
+// itself a finding.
+//
+//azlint:allow walltime(nothing below reads the clock) // want `stale //azlint:allow walltime directive: no walltime diagnostic on this or the next line`
+func clean() int { return 1 }

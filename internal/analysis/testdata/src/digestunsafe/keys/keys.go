@@ -1,0 +1,22 @@
+// Package keys hosts the map-ordered helpers. Returning keys unsorted
+// is harmless in isolation — the hazard materialises in callers that
+// emit the result, which is digestunsafe's (interprocedural) business.
+package keys
+
+import "sort"
+
+// Of returns m's keys in map-iteration order.
+func Of(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Sorted returns m's keys canonicalised; callers are clean.
+func Sorted(m map[string]int) []string {
+	ks := Of(m)
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,38 @@
+package writer
+
+import (
+	"fmt"
+	"sort"
+
+	"digestunsafe/keys"
+)
+
+// Map order crosses the package boundary through keys.Of and reaches
+// the writer unsorted: flagged, with the interprocedural chain.
+func dump(m map[string]int) {
+	ks := keys.Of(m)
+	for _, k := range ks { // want `result of keys\.Of is in map-iteration order \(keys\.Of → map-range append\) and is written out unsorted`
+		fmt.Println(k, m[k])
+	}
+}
+
+// The unsorted result passed straight to a writer: flagged too.
+func dumpArg(m map[string]int) {
+	fmt.Println(keys.Of(m)) // want `result of keys\.Of is in map-iteration order \(keys\.Of → map-range append\) and is passed to an output writer unsorted`
+}
+
+// Sorting in the caller sanitises the value: clean.
+func dumpSorted(m map[string]int) {
+	ks := keys.Of(m)
+	sort.Strings(ks)
+	for _, k := range ks {
+		fmt.Println(k, m[k])
+	}
+}
+
+// A helper that sorts before returning carries no taint: clean.
+func dumpCanonical(m map[string]int) {
+	for _, k := range keys.Sorted(m) {
+		fmt.Println(k, m[k])
+	}
+}

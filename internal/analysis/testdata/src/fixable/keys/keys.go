@@ -1,0 +1,10 @@
+package keys
+
+// Of returns m's keys in map-iteration order.
+func Of(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

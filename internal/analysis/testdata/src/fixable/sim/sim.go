@@ -1,0 +1,40 @@
+// Every diagnostic in this package carries a mechanical fix; the
+// harness applies them, re-typechecks, and re-runs the analyzers to
+// assert the result is clean.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fixable/keys"
+)
+
+// Clock is the virtual time source threaded through the simulator.
+type Clock interface {
+	Now() time.Time
+}
+
+func stamp(c Clock) time.Time {
+	return time.Now() // want `time\.Now reads the wall clock in simulation-facing package sim`
+}
+
+func draw(r *rand.Rand) int {
+	return rand.Intn(6) // want `rand\.Intn draws from the process-global math/rand source`
+}
+
+func names(m map[string]bool) []string {
+	var out []string
+	for k := range m { // verified below: fix inserts sort.Strings(out) after this range
+		out = append(out, k) // want `out accumulates elements in map-iteration order and is never sorted`
+	}
+	return out
+}
+
+func emit(m map[string]bool) {
+	ks := keys.Of(m)
+	for _, k := range ks { // want `result of keys\.Of is in map-iteration order`
+		fmt.Println(k)
+	}
+}

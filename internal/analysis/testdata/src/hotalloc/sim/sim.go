@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Per-iteration allocations in a hot-path package: flagged.
+func perOp(n int) {
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 4096)         // want `make\(\[\]byte, …\) allocates a fresh buffer on every loop iteration in hot-path package sim`
+		b := bytes.Buffer{}               // want `bytes\.Buffer allocated on every loop iteration in hot-path package sim`
+		nb := new(bytes.Buffer)           // want `new\(bytes\.Buffer\) allocates on every loop iteration in hot-path package sim`
+		name := fmt.Sprintf("blob-%d", i) // want `fmt\.Sprintf allocates on every loop iteration in hot-path package sim`
+		_, _, _, _ = buf, b, nb, name
+	}
+}
+
+// Hoisted buffer, error formatting only on the cold exit path, and
+// formatting outside any loop: all clean.
+func hoisted(n int) error {
+	buf := make([]byte, 4096)
+	prefix := fmt.Sprintf("run-%d", n)
+	for i := 0; i < n; i++ {
+		if len(prefix) > len(buf) {
+			return fmt.Errorf("prefix %s overflows at op %d", prefix, i)
+		}
+		buf[0] = byte(i)
+	}
+	return nil
+}
+
+// A justified per-op allocation keeps its annotation.
+func sampled(n int) {
+	for i := 0; i < n; i++ {
+		//azlint:allow hotalloc(diagnostic label built only on the 1-in-1e6 sampled path)
+		label := fmt.Sprintf("sample-%d", i)
+		_ = label
+	}
+}

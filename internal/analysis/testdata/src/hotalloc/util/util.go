@@ -1,0 +1,13 @@
+// Package util is not on a measured hot path (no sim/rest/... segment);
+// per-iteration formatting is not hotalloc's business here.
+package util
+
+import "fmt"
+
+func Names(n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("name-%d", i))
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package a
+
+import "sync"
+
+var (
+	ma sync.Mutex
+	mb sync.Mutex
+	mc sync.Mutex
+	md sync.Mutex
+	me sync.Mutex
+	mf sync.Mutex
+)
+
+// Opposite nesting orders across two functions: both directions report,
+// each pointing at the other.
+func lockAB() {
+	ma.Lock()
+	defer ma.Unlock()
+	mb.Lock() // want `mb is acquired while ma is held, but a\.go:\d+ acquires ma while mb is held`
+	defer mb.Unlock()
+}
+
+func lockBA() {
+	mb.Lock()
+	defer mb.Unlock()
+	ma.Lock() // want `ma is acquired while mb is held, but a\.go:\d+ acquires mb while ma is held`
+	defer ma.Unlock()
+}
+
+// Consistent order on every path: clean.
+func lockCD() {
+	mc.Lock()
+	defer mc.Unlock()
+	md.Lock()
+	defer md.Unlock()
+}
+
+func lockCDAgain() {
+	mc.Lock()
+	md.Lock()
+	md.Unlock()
+	mc.Unlock()
+}
+
+// One direction carries a documented exception; the other still reports.
+func lockEF() {
+	me.Lock()
+	defer me.Unlock()
+	mf.Lock() // want `mf is acquired while me is held, but a\.go:\d+ acquires me while mf is held`
+	defer mf.Unlock()
+}
+
+func lockFE() {
+	mf.Lock()
+	defer mf.Unlock()
+	//azlint:allow lockorder(shutdown path holds mf first by design; documented in the package comment)
+	me.Lock()
+	defer me.Unlock()
+}
+
+// Striped locks: identity is the struct field, so the discipline holds
+// across instances.
+type striped struct {
+	mu1 sync.Mutex
+	mu2 sync.Mutex
+}
+
+func (s *striped) lock12() {
+	s.mu1.Lock()
+	s.mu2.Lock() // want `field mu2 is acquired while field mu1 is held, but a\.go:\d+ acquires field mu1 while field mu2 is held`
+	s.mu2.Unlock()
+	s.mu1.Unlock()
+}
+
+func (s *striped) lock21(t *striped) {
+	t.mu2.Lock()
+	t.mu1.Lock() // want `field mu1 is acquired while field mu2 is held, but a\.go:\d+ acquires field mu2 while field mu1 is held`
+	t.mu1.Unlock()
+	t.mu2.Unlock()
+}

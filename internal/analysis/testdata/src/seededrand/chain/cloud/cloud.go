@@ -1,0 +1,14 @@
+// Package cloud is deterministic-scoped; calls into helpers that
+// transitively draw from the global math/rand source are flagged here.
+package cloud
+
+import (
+	"math/rand"
+
+	"seededrand/chain/helpers"
+)
+
+func backoff(r *rand.Rand) float64 {
+	base := helpers.Draw(r)
+	return base + helpers.Jitter() // want `call to helpers\.Jitter eventually draws from the process-global math/rand source \(helpers\.Jitter → helpers\.roll → rand\.Float64\) in deterministic package cloud`
+}

@@ -1,0 +1,15 @@
+// Package helpers is NOT deterministic-scoped: seededrand reports
+// nothing here. Its global-rand draws surface interprocedurally at call
+// sites inside deterministic packages.
+package helpers
+
+import "math/rand"
+
+// Jitter draws from the process-global source two hops down.
+func Jitter() float64 { return roll() }
+
+func roll() float64 { return rand.Float64() }
+
+// Draw uses the caller's seeded generator: clean, and so are its
+// callers.
+func Draw(r *rand.Rand) float64 { return r.Float64() }

@@ -1,0 +1,22 @@
+// Package sim is simulation-facing; calls into helpers that
+// transitively reach the wall clock are flagged here, with the chain.
+package sim
+
+import (
+	"time"
+
+	"walltime/chain/util"
+)
+
+type env struct{}
+
+func (env) Now() time.Time { return time.Time{} }
+
+func run(e env) {
+	_ = util.Stamp() // want `call to util\.Stamp eventually reads the wall clock \(util\.Stamp → util\.now → time\.Now\) in simulation-facing package sim`
+	_ = util.StampFrom(e)
+}
+
+func pause() {
+	util.Elapsed(time.Second) // want `call to util\.Elapsed eventually reads the wall clock \(util\.Elapsed → time\.Sleep\) in simulation-facing package sim`
+}

@@ -1,0 +1,23 @@
+// Package util is NOT simulation-facing: walltime reports nothing here.
+// Its wall-clock reads surface interprocedurally, at call sites inside
+// simulation-facing packages, with the full chain.
+package util
+
+import "time"
+
+// Clock is an injected time source.
+type Clock interface {
+	Now() time.Time
+}
+
+// Stamp reads the wall clock two hops down.
+func Stamp() time.Time { return now() }
+
+func now() time.Time { return time.Now() }
+
+// Elapsed blocks on the wall clock directly.
+func Elapsed(d time.Duration) { time.Sleep(d) }
+
+// StampFrom derives time from the injected clock: clean, and so are its
+// callers.
+func StampFrom(c Clock) time.Time { return c.Now() }

@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // wallTimeFuncs are the package-level functions of "time" that read or
@@ -24,12 +26,20 @@ var wallTimeFuncs = map[string]bool{
 // Walltime forbids wall-clock time in simulation-facing packages.
 // Time must be derived from the virtual clock: env.Now()/proc.Sleep in
 // the simulator, vclock.Clock everywhere the engines need timestamps.
-// The intentional harness measurements (reporting how long a simulation
-// took in real time) carry //azlint:allow walltime(reason) annotations.
+//
+// The check is interprocedural: besides direct time.Now/Sleep/... uses,
+// it flags calls into helper functions — in this package's dependencies,
+// however many hops away — whose bodies transitively reach the wall
+// clock, and the diagnostic carries the full call chain. Helpers in
+// other simulation-facing packages are not re-flagged at the call site;
+// the violation is reported where it lives. The intentional harness
+// measurements carry //azlint:allow walltime(reason) annotations, which
+// also stop their taint from propagating to callers.
 var Walltime = &Analyzer{
 	Name: "walltime",
-	Doc: "forbid time.Now/Since/Sleep/After/... in simulation-facing packages; " +
-		"derive time from vclock.Clock or env.Now() so runs are a pure function of the seed",
+	Doc: "forbid wall-clock time in simulation-facing packages, including transitively " +
+		"through helper calls into other packages; derive time from vclock.Clock or env.Now() " +
+		"so runs are a pure function of the seed",
 	Run: runWalltime,
 }
 
@@ -39,26 +49,114 @@ func runWalltime(pass *Pass) {
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkWalltimeDirect(pass, f, n)
+			case *ast.CallExpr:
+				checkWalltimeCall(pass, n)
 			}
-			obj := pass.Info.Uses[sel.Sel]
-			if obj == nil || pkgPathOf(obj) != "time" || !wallTimeFuncs[obj.Name()] {
-				return true
-			}
-			// Methods like (time.Time).After share names with the wall
-			// clock readers; only package-level functions touch it.
-			fn, ok := obj.(*types.Func)
-			if !ok || fn.Type().(*types.Signature).Recv() != nil {
-				return true
-			}
-			pass.Reportf(sel.Pos(),
-				"time.%s reads the wall clock in simulation-facing package %s; "+
-					"use the virtual clock (env.Now, proc.Sleep, vclock.Clock) or annotate "+
-					"//azlint:allow walltime(reason)",
-				obj.Name(), base(pass.Pkg.Path()))
 			return true
 		})
 	}
+}
+
+// checkWalltimeDirect flags a direct reference to a wall-clock function.
+func checkWalltimeDirect(pass *Pass, f *ast.File, sel *ast.SelectorExpr) {
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || pkgPathOf(obj) != "time" || !wallTimeFuncs[obj.Name()] {
+		return
+	}
+	// Methods like (time.Time).After share names with the wall
+	// clock readers; only package-level functions touch it.
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	pass.Report(sel.Pos(), walltimeFix(pass, f, sel),
+		"time.%s reads the wall clock in simulation-facing package %s; "+
+			"use the virtual clock (env.Now, proc.Sleep, vclock.Clock) or annotate "+
+			"//azlint:allow walltime(reason)",
+		obj.Name(), base(pass.Pkg.Path()))
+}
+
+// checkWalltimeCall flags a call whose callee — declared in a package
+// that is not itself simulation-facing, so the violation is reported
+// nowhere else — transitively reads the wall clock.
+func checkWalltimeCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	declPath := pkgPathOf(fn)
+	if declPath == "" || declPath == pass.Pkg.Path() || SimFacing(declPath) {
+		return
+	}
+	t := pass.TaintOf(fn)
+	if t.Wallclock == nil {
+		return
+	}
+	chain := displayName(fn) + " → " + strings.Join(t.Wallclock, " → ")
+	pass.Reportf(call.Pos(),
+		"call to %s eventually reads the wall clock (%s) in simulation-facing package %s; "+
+			"thread the virtual clock through the helper or annotate //azlint:allow walltime(reason)",
+		displayName(fn), chain, base(pass.Pkg.Path()))
+}
+
+// walltimeFix mechanically redirects a direct `time.Now()` call to a
+// virtual clock already in scope: the first parameter of the enclosing
+// function whose type has a Now() method returning time.Time (e.g. a
+// vclock.Clock). Other wall-clock functions and functions without such
+// a parameter get no fix — threading a clock through a signature is a
+// design change, not a mechanical edit.
+func walltimeFix(pass *Pass, f *ast.File, sel *ast.SelectorExpr) *SuggestedFix {
+	if sel.Sel.Name != "Now" {
+		return nil
+	}
+	fd := enclosingFuncDecl(f, sel.Pos())
+	if fd == nil || fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil || !hasWallNowMethod(obj.Type()) {
+				continue
+			}
+			return &SuggestedFix{
+				Message: "use the in-scope virtual clock " + name.Name + ".Now()",
+				Edits:   []TextEdit{{Pos: sel.X.Pos(), End: sel.X.End(), NewText: name.Name}},
+			}
+		}
+	}
+	return nil
+}
+
+// hasWallNowMethod reports whether t's method set has Now() time.Time.
+func hasWallNowMethod(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != "Now" {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		named, ok := sig.Results().At(0).Type().(*types.Named)
+		if ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Time" {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncDecl returns the function declaration containing pos.
+func enclosingFuncDecl(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && fd.Pos() <= pos && pos < fd.End() {
+			return fd
+		}
+	}
+	return nil
 }

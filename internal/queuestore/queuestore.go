@@ -15,6 +15,7 @@ package queuestore
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -231,7 +232,7 @@ func (s *Store) Get(name string, max int, visibility time.Duration) ([]Message, 
 		m.dequeueCount++
 		m.nextVisible = now.Add(visibility)
 		s.popSeq++
-		m.popReceipt = fmt.Sprintf("pr-%d", s.popSeq)
+		m.popReceipt = "pr-" + strconv.FormatUint(s.popSeq, 10)
 		out = append(out, m.view())
 	}
 	return out, nil
@@ -389,7 +390,7 @@ func (s *Store) Update(name, msgID, popReceipt string, body payload.Payload, vis
 		m.body = body
 		m.nextVisible = now.Add(visibility)
 		s.popSeq++
-		m.popReceipt = fmt.Sprintf("pr-%d", s.popSeq)
+		m.popReceipt = "pr-" + strconv.FormatUint(s.popSeq, 10)
 		return m.view(), nil
 	}
 	return Message{}, storecommon.Errf(storecommon.CodeMessageNotFound, 404, "message %q not found", msgID)
