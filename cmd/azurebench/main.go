@@ -56,6 +56,9 @@ func main() {
 		scenarios   = flag.String("scenario", "", "scenario file(s) to run, comma separated (see examples/scenarios)")
 		scenarioDir = flag.String("scenario-dir", "", "run every *.yaml scenario in this directory, sorted by name")
 		digest      = flag.Bool("digest", false, "print each report's content digest (sha256 over figure CSVs)")
+		ckptAt      = flag.String("checkpoint-at", "", "capture a full simulation snapshot at this virtual time (requires -checkpoint-file and exactly one -experiment id)")
+		ckptFile    = flag.String("checkpoint-file", "", "snapshot destination for -checkpoint-at")
+		restoreFrom = flag.String("restore", "", "replay the experiment checkpointed in this snapshot file, verifying state at the checkpoint instant (ignores config flags: the snapshot embeds its configuration)")
 	)
 	flag.Parse()
 
@@ -133,11 +136,37 @@ func main() {
 		out.statsOut = f
 	}
 
-	if *scenarios != "" || *scenarioDir != "" {
+	var checkpointAt time.Duration
+	if *ckptAt != "" {
+		at, err := time.ParseDuration(*ckptAt)
+		if err != nil || at <= 0 {
+			fatalf("bad -checkpoint-at: %q (want a positive virtual duration like 6s)", *ckptAt)
+		}
+		if *ckptFile == "" {
+			fatalf("-checkpoint-at requires -checkpoint-file")
+		}
+		if *scenarios != "" || *scenarioDir != "" {
+			fatalf("-checkpoint-at applies to experiments; scenarios checkpoint via their checkpoint: stanza")
+		}
+		checkpointAt = at
+	}
+
+	switch {
+	case *restoreFrom != "":
+		if *scenarios != "" || *scenarioDir != "" || checkpointAt != 0 {
+			fatalf("-restore runs a snapshot on its own (it embeds its experiment and configuration)")
+		}
+		rep, suite, err := core.Restore(*restoreFrom)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		out.emit(suite, rep, "")
+		out.stats(suite)
+	case *scenarios != "" || *scenarioDir != "":
 		paths := scenarioPaths(*scenarios, *scenarioDir)
 		runScenarios(cfg, paths, scenario.Options{Quick: *quick}, out)
-	} else {
-		runExperiments(cfg, *experiment, out)
+	default:
+		runExperiments(cfg, *experiment, out, checkpointAt, *ckptFile)
 	}
 
 	if out.statsOut != nil {
@@ -175,8 +204,9 @@ func scenarioPaths(list, dir string) []string {
 
 // runExperiments runs registered experiments on one shared suite. All ids
 // are validated before anything runs, so a typo late in the list cannot
-// waste a long run.
-func runExperiments(cfg core.Config, list string, out *output) {
+// waste a long run. checkpointAt/checkpointFile, when set, arm a
+// mid-run snapshot capture and require exactly one experiment id.
+func runExperiments(cfg core.Config, list string, out *output, checkpointAt time.Duration, checkpointFile string) {
 	ids := strings.Split(list, ",")
 	if list == "all" {
 		ids = nil
@@ -203,10 +233,24 @@ func runExperiments(cfg core.Config, list string, out *output) {
 			strings.Join(unknown, ", "), strings.Join(valid, ", "))
 	}
 	suite := core.NewSuite(cfg)
+	if checkpointAt > 0 {
+		if len(ids) != 1 || list == "all" {
+			fatalf("-checkpoint-at requires exactly one -experiment id (got %q)", list)
+		}
+		if err := suite.Checkpoint(ids[0], checkpointAt, checkpointFile); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	for _, id := range ids {
 		exp, _ := core.Lookup(id)
 		rep := exp.Run(suite)
 		out.emit(suite, rep, "")
+	}
+	if checkpointAt > 0 {
+		if err := suite.CheckpointOutcome(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("checkpoint written: %s (virtual %v)\n", checkpointFile, checkpointAt)
 	}
 	out.stats(suite)
 }

@@ -17,7 +17,12 @@ import (
 var debtCeiling = map[string]int{
 	"walltime":   2,
 	"seededrand": 1,
-	"hotalloc":   3,
+	// +2: cloud snapshot restore formats station names once per restored
+	// partition/server (setup-time, mirrors the allowed construction path).
+	"hotalloc": 5,
+	// 1: partitionmgr.Master shares the env's PRNG stream by design; the
+	// sim/env snapshot section owns saving and restoring that stream.
+	"snapshotsafe": 1,
 }
 
 const baselineCeiling = 20

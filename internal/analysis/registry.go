@@ -3,7 +3,8 @@ package analysis
 // All returns the azlint analyzer suite in reporting order. The first
 // five are the original per-package determinism checks (walltime and
 // seededrand now interprocedural); lockorder, hotalloc and digestunsafe
-// ride on the interprocedural substrate.
+// ride on the interprocedural substrate; snapshotsafe guards the
+// checkpoint/restore protocol.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Walltime,
@@ -14,5 +15,6 @@ func All() []*Analyzer {
 		Lockorder,
 		Hotalloc,
 		Digestunsafe,
+		Snapshotsafe,
 	}
 }

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Snapshotsafe guards the checkpoint/restore contract: a type that
+// participates in the snapshot protocol (it has methods taking the
+// snapshot codec's *Writer or *Reader) must serialize every stateful
+// field that matters for determinism. The two classic leaks are a
+// time.Time captured at construction and a PRNG stream — forget either
+// in Save/Load and a restored run silently resumes with reset state,
+// breaking the byte-identical-replay guarantee the snapshot subsystem
+// exists to provide. The analyzer flags PRNG and wall-time fields of
+// snapshotter types that none of the type's codec methods (or the
+// package-local helpers they call) ever reference.
+var Snapshotsafe = &Analyzer{
+	Name: "snapshotsafe",
+	Doc: "flag time.Time and PRNG fields of snapshot-protocol types that the type's " +
+		"Save/Load methods never reference; un-serialized state silently resets on restore",
+	Run: runSnapshotsafe,
+}
+
+func runSnapshotsafe(pass *Pass) {
+	if !Deterministic(pass.Pkg.Path()) {
+		return
+	}
+
+	// Map every package-level function to its declaration, and find the
+	// codec entry points: methods taking the snapshot *Writer / *Reader.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var entries []*types.Func
+	snapshotters := map[*types.Named]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if !hasSnapshotCodecParam(fn) {
+				continue
+			}
+			entries = append(entries, fn)
+			if named := recvNamed(fn); named != nil {
+				snapshotters[named] = true
+			}
+		}
+	}
+	if len(snapshotters) == 0 {
+		return
+	}
+
+	// Fields are covered if any codec method — or any package-local
+	// function reachable from one (Cloud.Save delegating to saveState,
+	// per-subsystem helpers, ...) — references them.
+	covered := map[types.Object]bool{}
+	visited := map[*types.Func]bool{}
+	work := append([]*types.Func(nil), entries...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		body := decls[fn].Body
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					covered[sel.Obj()] = true
+				}
+			case *ast.CallExpr:
+				if callee := calleeFunc(pass.Info, n); callee != nil {
+					if _, local := decls[callee]; local && !visited[callee] {
+						work = append(work, callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for named := range snapshotters {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			kind := volatileKind(field.Type())
+			if kind == "" || covered[field] {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"snapshotter %s holds %s in field %q that its Save/Load methods never touch; "+
+					"un-serialized state silently resets on restore — serialize it "+
+					"(or annotate //azlint:allow snapshotsafe(reason))",
+				named.Obj().Name(), kind, field.Name())
+		}
+	}
+}
+
+// hasSnapshotCodecParam reports whether fn takes the snapshot codec's
+// *Writer or *Reader — the structural signature of the snapshot
+// protocol, independent of the method's name (Save, Load, saveState,
+// RegisterSnapshot-built closures all qualify).
+func hasSnapshotCodecParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		ptr, ok := sig.Params().At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || (obj.Name() != "Writer" && obj.Name() != "Reader") {
+			continue
+		}
+		if base(obj.Pkg().Path()) == "snapshot" {
+			return true
+		}
+	}
+	return false
+}
+
+// volatileKind classifies field types whose state is invisible to a
+// snapshot unless explicitly serialized: wall-clock stamps and PRNG
+// streams (both math/rand and the sim kernel's seeded generator).
+func volatileKind(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case obj.Name() == "Time" && obj.Pkg().Path() == "time":
+		return "a time.Time"
+	case obj.Name() == "Rand" && obj.Pkg().Path() == "math/rand":
+		return "a math/rand PRNG"
+	case obj.Name() == "Rand" && base(obj.Pkg().Path()) == "sim":
+		return "a seeded PRNG stream"
+	}
+	return ""
+}

@@ -1,0 +1,15 @@
+// Fixture: no deterministic path segment — snapshot-protocol types here
+// (an offline report tool, say) may keep wall-clock stamps unserialized.
+package outofscope
+
+import (
+	"time"
+
+	"snapshotsafe/snapshot"
+)
+
+type reporter struct {
+	generated time.Time // fine: package is out of scope
+}
+
+func (r *reporter) Save(w *snapshot.Writer) { w.U64(0) }

@@ -1,0 +1,17 @@
+// Package snapshot is a minimal stand-in for the real codec: the
+// analyzer recognises the protocol structurally — methods taking a
+// *Writer or *Reader from a package whose base is "snapshot" — so this
+// fixture only needs the type names.
+package snapshot
+
+// Writer appends fields.
+type Writer struct{ buf []byte }
+
+func (w *Writer) U64(v uint64) {}
+func (w *Writer) I64(v int64)  {}
+
+// Reader consumes fields.
+type Reader struct{ off int }
+
+func (r *Reader) U64() uint64 { return 0 }
+func (r *Reader) I64() int64  { return 0 }

@@ -143,5 +143,6 @@ func (s *Suite) withParams(mutate func(*paramsAlias)) *Suite {
 	sub.traceLog = s.traceLog
 	sub.samplers = s.samplers
 	sub.partitions = s.partitions
+	sub.ckpt = s.ckpt
 	return sub
 }

@@ -18,6 +18,7 @@ import (
 	"azurebench/internal/model"
 	"azurebench/internal/partitionmgr"
 	"azurebench/internal/sim"
+	"azurebench/internal/snapshot"
 	"azurebench/internal/storecommon"
 	"azurebench/internal/telemetry"
 	"azurebench/internal/trace"
@@ -190,6 +191,9 @@ type Suite struct {
 	traceLog   *trace.Log
 	samplers   *samplerBag
 	partitions *partitionBag
+	// ckpt, when non-nil, arms the next simulation environment with a
+	// checkpoint capture or restore-verification hook (see checkpoint.go).
+	ckpt *checkpointCtl
 }
 
 // samplerBag accumulates every sampler the suite's experiments attach; it
@@ -338,6 +342,9 @@ func (s *Suite) newCloud() (*sim.Env, *cloud.Cloud) {
 	if s.traceLog != nil {
 		c.SetTrace(s.traceLog)
 	}
+	s.armCheckpoint(env, func(reg *snapshot.Registry) {
+		c.RegisterSnapshot(reg, "")
+	})
 	return env, c
 }
 

@@ -22,7 +22,7 @@ const geoQueue = "geo-writes"
 type geoPoint struct {
 	lag time.Duration
 
-	writes       int           // puts committed by the writer fleet
+	writes       int // puts committed by the writer fleet
 	rpoByService map[string]uint64
 	rpoTotal     uint64        // records lost at the forward-stream freeze
 	rtoPromotion time.Duration // outage start -> secondary promoted
@@ -82,6 +82,7 @@ func (s *Suite) runGeoreplPoint(lag time.Duration) geoPoint {
 		Outages: []faults.Window{cloud.OutageWindow(failAt, outage)},
 	}))
 	g.ScheduleFailover(failAt, outage)
+	sub.armCheckpoint(env, g.RegisterSnapshot)
 	if sub.cfg.Telemetry {
 		sp := telemetry.NewSampler(fmt.Sprintf("georepl/lag=%v", lag), sub.cfg.TelemetryInterval)
 		sp.Watch(env, g.Stations)

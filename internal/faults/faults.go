@@ -106,6 +106,24 @@ func (w Window) covers(now time.Duration, region, service, station string) bool 
 	return now >= w.Start && now < w.Start+w.Duration
 }
 
+// Preemption is one scheduled spot-eviction of a worker role: at At the
+// worker's logical state is checkpointed and the worker is killed; after
+// RestoreAfter it is restored from the checkpoint onto a fresh server
+// (new NIC station, cold partition-map cache) and resumes mid-workload.
+// The workload engine consults the plan and performs the
+// checkpoint/kill/restore; like outage windows, preemptions are
+// schedule-driven and consume no injector randomness.
+type Preemption struct {
+	// Worker is the zero-based ordinal of the evicted worker role within
+	// its fleet.
+	Worker int
+	// At is the virtual time of the eviction.
+	At time.Duration
+	// RestoreAfter is how long the role stays down before the checkpoint
+	// is restored elsewhere (default 1 s when unset at compile time).
+	RestoreAfter time.Duration
+}
+
 // Plan is a complete fault schedule for one simulation run.
 type Plan struct {
 	// Seed feeds the injector's private PRNG; the same seed over the same
@@ -117,6 +135,12 @@ type Plan struct {
 	// Outages are checked before the rules (a downed server fails every
 	// request regardless of probabilities).
 	Outages []Window
+	// Preemptions schedules spot-evictions of worker roles. They live in
+	// the fault plan so eviction schedules version and replay with the
+	// rest of the fault model, but are executed by the workload engine
+	// (the injector never sees them: a preemption fails no request, it
+	// moves the requester).
+	Preemptions []Preemption
 
 	// Timeout is the client-side wait before a lost request is abandoned
 	// (default 30 s, the classic SDK default).
@@ -158,7 +182,24 @@ func (pl Plan) Empty() bool {
 			return false
 		}
 	}
-	return true
+	return len(pl.Preemptions) == 0
+}
+
+// PreemptionsFor returns the scheduled evictions of one worker ordinal
+// in At order (stable for equal times).
+func (pl Plan) PreemptionsFor(worker int) []Preemption {
+	var out []Preemption
+	for _, p := range pl.Preemptions {
+		if p.Worker == worker {
+			out = append(out, p)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].At < out[j-1].At; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 // Decision is the injector's verdict on one request.

@@ -147,7 +147,8 @@ func (m *TableMap) Ranges() int { return len(m.starts) }
 // per-range load, and mutates placement on control ticks. It must only be
 // used from the single-threaded simulation.
 type Master struct {
-	cfg     Config
+	cfg Config
+	//azlint:allow snapshotsafe(the PRNG is the environment's stream, shared at construction; sim/env's section saves and restores it)
 	rand    *sim.Rand
 	tables  map[string]*tableState
 	order   []string // table creation order, for deterministic iteration

@@ -1,0 +1,32 @@
+package retry
+
+import snap "azurebench/internal/snapshot"
+
+// Save appends the shared budget's token counts, so a fleet restored
+// from a checkpoint resumes with exactly the retries it had left. A nil
+// budget (unlimited) writes a presence flag only.
+func (b *Budget) Save(w *snap.Writer) {
+	if b == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.Int(b.remaining)
+	w.Int(b.spent)
+}
+
+// Load restores a budget saved by Save into b. Loading a nil-saved
+// budget into a live one (or vice versa) is a shape mismatch the caller
+// owns; here a nil receiver simply consumes the flag.
+func (b *Budget) Load(r *snap.Reader) error {
+	present := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if !present || b == nil {
+		return nil
+	}
+	b.remaining = r.Int()
+	b.spent = r.Int()
+	return r.Err()
+}

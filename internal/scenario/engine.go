@@ -15,6 +15,7 @@ import (
 	"azurebench/internal/payload"
 	"azurebench/internal/retry"
 	"azurebench/internal/sim"
+	"azurebench/internal/snapshot"
 	"azurebench/internal/storecommon"
 	"azurebench/internal/tablestore"
 	"azurebench/internal/workload"
@@ -250,6 +251,7 @@ type phaseStats struct {
 	errors     int
 	misses     int
 	dispatched int // open arrivals only
+	preempted  int // closed-loop workers evicted mid-phase
 	opCounts   []int
 }
 
@@ -273,15 +275,60 @@ type engine struct {
 	seed int64
 }
 
+// scaledPhase applies quick-mode duration scaling.
+func scaledPhase(ph Phase, opts Options) Phase {
+	if opts.Quick {
+		ph.Duration /= quickDivisor
+		if ph.Duration < time.Second {
+			ph.Duration = time.Second
+		}
+	}
+	return ph
+}
+
 // runWorkload executes a workload-driver scenario and returns the report
 // plus the flat metric map.
 func runWorkload(s *core.Suite, sp *Spec, opts Options) (*core.Report, map[string]float64, error) {
 	wall := core.WallTimer()
+
+	// Checkpoint plumbing: ci is the phase the snapshot follows; frozen
+	// is the captured (or disk-loaded) snapshot the forks and a restored
+	// run load from.
+	ck := sp.Checkpoint
+	ci := -1
+	if ck != nil {
+		for i, ph := range sp.Phases {
+			if ph.Name == ck.After {
+				ci = i
+			}
+		}
+	}
+	var frozen *snapshot.File
+	restoring := false
+	if ck != nil && (ck.Restore == "always" || ck.Restore == "auto") {
+		f, err := snapshot.ReadFile(ck.File)
+		switch {
+		case err == nil:
+			frozen = f
+			restoring = true
+		case ck.Restore == "always":
+			return nil, nil, fmt.Errorf("scenario %q: checkpoint.restore always: %w", sp.Name, err)
+			// auto with no readable file: run cold and write it below.
+		}
+	}
+
 	env, c := s.ScenarioCloud()
 	seed := s.Config().Seed
 	eng := &engine{sp: sp, env: env, c: c, seed: seed}
 
-	if f := sp.Faults; f != nil {
+	// applyFaults attaches the spec's injector; forks re-apply it to
+	// their own clouds so the snapshot's section list (which includes
+	// faults/injector when armed) matches at load time.
+	applyFaults := func(c *cloud.Cloud) {
+		f := sp.Faults
+		if f == nil {
+			return
+		}
 		plan := faults.Uniform(seed, f.Rate)
 		if f.Timeout > 0 {
 			plan.Timeout = f.Timeout
@@ -294,21 +341,74 @@ func runWorkload(s *core.Suite, sp *Spec, opts Options) (*core.Report, map[strin
 				Duration: o.Duration,
 			})
 		}
+		for _, pr := range f.Preemptions {
+			plan.Preemptions = append(plan.Preemptions, faults.Preemption{
+				Worker:       pr.Worker,
+				At:           pr.At,
+				RestoreAfter: pr.RestoreAfter,
+			})
+		}
 		c.SetFaults(faults.NewInjector(plan))
 	}
-
-	eng.setup()
-	s.ScenarioSample(env, c, sp.Name)
+	applyFaults(c)
 
 	var phases []*phaseStats
-	for i, ph := range sp.Phases {
-		if opts.Quick {
-			ph.Duration /= quickDivisor
-			if ph.Duration < time.Second {
-				ph.Duration = time.Second
+	var ckNotes []string
+	if restoring {
+		// Warm start: the snapshot carries the whole cloud (preloaded
+		// objects included), so setup and phases 0..ci are skipped.
+		if err := loadScenario(frozen, sp, ci, env, c); err != nil {
+			return nil, nil, err
+		}
+		s.ScenarioSample(env, c, sp.Name)
+		ckNotes = append(ckNotes, fmt.Sprintf(
+			"warm start: restored %s (after phase %q, virtual %v); setup and %d earlier phase(s) skipped",
+			ck.File, ck.After, env.Now().Round(time.Millisecond), ci+1))
+	} else {
+		eng.setup()
+		s.ScenarioSample(env, c, sp.Name)
+		for i := 0; i <= ci; i++ {
+			phases = append(phases, eng.runPhase(i, scaledPhase(sp.Phases[i], opts)))
+		}
+		if ck != nil {
+			var err error
+			frozen, err = captureScenario(sp, env, c, ci)
+			if err != nil {
+				return nil, nil, err
+			}
+			note := fmt.Sprintf("checkpoint captured after phase %q (virtual %v)", ck.After, env.Now().Round(time.Millisecond))
+			if ck.File != "" {
+				if err := frozen.WriteFile(ck.File); err != nil {
+					return nil, nil, fmt.Errorf("scenario %q: writing checkpoint: %w", sp.Name, err)
+				}
+				note += ", written to " + ck.File
+			}
+			ckNotes = append(ckNotes, note)
+		}
+	}
+	for i := ci + 1; i < len(sp.Phases); i++ {
+		phases = append(phases, eng.runPhase(i, scaledPhase(sp.Phases[i], opts)))
+	}
+
+	// Forks: re-run the post-checkpoint phases from the same warmed
+	// state under different workload seeds, each on its own cloud.
+	if ck != nil && len(ck.ForkSeeds) > 0 {
+		for _, fs := range ck.ForkSeeds {
+			fenv, fc := s.ScenarioCloud()
+			applyFaults(fc)
+			if err := loadScenario(frozen, sp, ci, fenv, fc); err != nil {
+				return nil, nil, fmt.Errorf("fork seed %d: %w", fs, err)
+			}
+			feng := &engine{sp: sp, env: fenv, c: fc, seed: fs}
+			for i := ci + 1; i < len(sp.Phases); i++ {
+				fps := feng.runPhase(i, scaledPhase(sp.Phases[i], opts))
+				fps.phase.Name = fmt.Sprintf("fork%d.%s", fs, fps.phase.Name)
+				phases = append(phases, fps)
 			}
 		}
-		phases = append(phases, eng.runPhase(i, ph))
+		ckNotes = append(ckNotes, fmt.Sprintf(
+			"forked %d seed(s) from the phase-%q state; fork metrics are namespaced fork<seed>.<phase>.*",
+			len(ck.ForkSeeds), ck.After))
 	}
 
 	rec := s.ScenarioRecordPartitions("scenario/"+sp.Name, c)
@@ -329,8 +429,8 @@ func runWorkload(s *core.Suite, sp *Spec, opts Options) (*core.Report, map[strin
 		YLabel: "latency (ms)",
 	}
 	m := map[string]float64{}
-	var notes []string
-	var totalOps, totalErrors, totalMisses int
+	notes := append([]string(nil), ckNotes...)
+	var totalOps, totalErrors, totalMisses, totalPreempted int
 	var measured time.Duration
 	for i, ps := range phases {
 		for sec, n := range ps.perSec {
@@ -356,12 +456,14 @@ func runWorkload(s *core.Suite, sp *Spec, opts Options) (*core.Report, map[strin
 		m[p+".p95_ms"] = ms(ps.lat.Percentile(95))
 		m[p+".p99_ms"] = ms(ps.lat.Percentile(99))
 		m[p+".max_ms"] = ms(ps.lat.Max())
+		m[p+".preemptions"] = float64(ps.preempted)
 		for j, ow := range ps.phase.Ops {
 			m[p+".ops."+ow.Op] = float64(ps.opCounts[j])
 		}
 		totalOps += ps.completed
 		totalErrors += ps.errors
 		totalMisses += ps.misses
+		totalPreempted += ps.preempted
 		measured += dur
 
 		var ctr metrics.Counters
@@ -371,6 +473,9 @@ func runWorkload(s *core.Suite, sp *Spec, opts Options) (*core.Report, map[strin
 		ctr.Add("misses (not found / empty)", float64(ps.misses))
 		if ps.phase.Arrival.Kind != "closed" {
 			ctr.Add("ops dispatched", float64(ps.dispatched))
+		}
+		if ps.preempted > 0 {
+			ctr.Add("workers preempted", float64(ps.preempted))
 		}
 		ctr.Add("latency p50 ms", ms(ps.lat.Percentile(50)))
 		ctr.Add("latency p95 ms", ms(ps.lat.Percentile(95)))
@@ -386,6 +491,7 @@ func runWorkload(s *core.Suite, sp *Spec, opts Options) (*core.Report, map[strin
 	m["total.ops"] = float64(totalOps)
 	m["total.errors"] = float64(totalErrors)
 	m["total.misses"] = float64(totalMisses)
+	m["total.preemptions"] = float64(totalPreempted)
 	if measured > 0 {
 		m["total.goodput"] = float64(totalOps) / measured.Seconds()
 	}
@@ -523,15 +629,9 @@ func (e *engine) runPhase(idx int, ph Phase) *phaseStats {
 			st := states[k]
 			rng := sim.NewRand(e.phaseSalt(idx) ^ (int64(k+1) << 20))
 			ch := newChooser(ph.Keys, sim.NewRand(e.phaseSalt(idx)^(int64(k+1)<<21)), start)
-			e.env.Go(fmt.Sprintf("%s-c%d", ph.Name, k), func(p *sim.Proc) {
-				for p.Now() < end {
-					kind, ki := e.choose(ph, rng, ch, totalWeight, p.Now())
-					e.execOne(p, ps, st, ph, kind, ki)
-					if ph.Arrival.Think > 0 {
-						p.Sleep(ph.Arrival.Think)
-					}
-				}
-			})
+			evs := e.evictionsFor(k, start, end)
+			e.spawnClosedWorker(fmt.Sprintf("%s-c%d", ph.Name, k), 0, ph, ps, totalWeight, start, end, evs,
+				func(*sim.Proc) (*clientState, *sim.Rand, *chooser, error) { return st, rng, ch, nil })
 		}
 	case "poisson":
 		e.dispatchOpen(idx, ph, ps, states, totalWeight, start, end, func(p *sim.Proc, rng *sim.Rand) time.Duration {
@@ -558,6 +658,83 @@ func (e *engine) runPhase(idx int, ph Phase) *phaseStats {
 		ps.end = end
 	}
 	return ps
+}
+
+// eviction is one scheduled preemption of a closed-loop worker, with
+// times resolved to absolute virtual time.
+type eviction struct {
+	at      time.Duration // absolute fire time
+	restore time.Duration // reprovisioning delay before the successor boots
+}
+
+// evictionsFor resolves the spec's preemptions for worker k against a
+// phase window: `at` is phase-relative in the spec (so quick-mode
+// duration scaling cannot push it past the end), and any closed phase
+// the worker participates in is subject to it.
+func (e *engine) evictionsFor(k int, start, end time.Duration) []eviction {
+	if e.sp.Faults == nil {
+		return nil
+	}
+	var evs []eviction
+	for _, pr := range e.sp.Faults.Preemptions {
+		if pr.Worker != k {
+			continue
+		}
+		at := start + pr.At
+		if at < end {
+			evs = append(evs, eviction{at: at, restore: pr.RestoreAfter})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	return evs
+}
+
+// spawnClosedWorker runs one generation of a closed-loop client. boot
+// produces the worker's state inside the new process: generation 0 hands
+// over the pre-built state, restored generations sleep out the
+// reprovisioning delay and then deserialize the evicted predecessor's
+// blob. On eviction the worker serializes its cursor (insert sequence,
+// queue claims, both PRNG positions) through the snapshot codec, spawns
+// the successor generation, and dies; the successor continues on a NEW
+// client — fresh NIC, fresh host — like a spot instance reprovisioned
+// elsewhere. Undeleted claims ride along, so visibility timeouts keep
+// running across the eviction and stale deletes surface as misses.
+func (e *engine) spawnClosedWorker(name string, gen int, ph Phase, ps *phaseStats,
+	totalWeight int, start, end time.Duration, evs []eviction,
+	boot func(*sim.Proc) (*clientState, *sim.Rand, *chooser, error)) {
+	proc := name
+	if gen > 0 {
+		proc = fmt.Sprintf("%s-gen%d", name, gen)
+	}
+	e.env.Go(proc, func(p *sim.Proc) {
+		st, rng, ch, err := boot(p)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: %s: %v", proc, err))
+		}
+		for p.Now() < end {
+			if len(evs) > 0 && p.Now() >= evs[0].at {
+				ev := evs[0]
+				rest := append([]eviction(nil), evs[1:]...)
+				blob := marshalWorker(st, rng, ch)
+				ps.preempted++
+				e.spawnClosedWorker(name, gen+1, ph, ps, totalWeight, start, end, rest,
+					func(q *sim.Proc) (*clientState, *sim.Rand, *chooser, error) {
+						if ev.restore > 0 {
+							q.Sleep(ev.restore)
+						}
+						cl := e.c.NewClient(fmt.Sprintf("%s-gen%d", name, gen+1), e.vmSize())
+						cl.SetRetryPolicy(scenarioRetryPolicy())
+						return unmarshalWorker(blob, cl, ph.Keys, start)
+					})
+				return
+			}
+			kind, ki := e.choose(ph, rng, ch, totalWeight, p.Now())
+			e.execOne(p, ps, st, ph, kind, ki)
+			if ph.Arrival.Think > 0 {
+				p.Sleep(ph.Arrival.Think)
+			}
+		}
+	})
 }
 
 // dispatchOpen runs an open arrival process: a dispatcher draws

@@ -39,7 +39,35 @@ type Spec struct {
 	Setup  SetupSpec  // workload driver: pre-created storage + preload
 	Phases []Phase    // workload driver: executed in order
 
+	// Checkpoint makes the workload driver snapshot the full simulation
+	// state at a phase boundary (where the cloud is quiescent) and/or
+	// resume from such a snapshot — the warm-start workflow.
+	Checkpoint *CheckpointSpec
+
 	SLOs []Assertion
+}
+
+// CheckpointSpec is the workload driver's checkpoint: stanza. The
+// snapshot is taken after phase After completes, when the event heap is
+// drained and every subsystem is quiescent, so it loads directly into a
+// fresh cloud without replay.
+type CheckpointSpec struct {
+	// File is where the snapshot is written (and, under Restore modes,
+	// read from). Empty means in-memory only — useful with ForkSeeds.
+	File string
+	// After names the phase whose completion triggers the snapshot.
+	After string
+	// Restore decides whether a run resumes from File instead of
+	// executing the phases up to and including After:
+	//   "never"  (default) — always run from scratch, write the snapshot
+	//   "auto"   — resume when File exists, otherwise run and write it
+	//   "always" — File must exist; resume from it
+	Restore string
+	// ForkSeeds, when non-empty, re-runs the phases after the checkpoint
+	// once per seed, each fork starting from the identical warm state but
+	// drawing its workload randomness from the fork seed. Fork phase
+	// metrics are namespaced fork<seed>.<phase>.*.
+	ForkSeeds []int64
 }
 
 // ConfigPatch holds optional core.Config overrides. Pointer fields (and
@@ -83,9 +111,24 @@ type ParamsPatch struct {
 
 // FaultSpec compiles to a faults.Plan seeded from the run's seed.
 type FaultSpec struct {
-	Rate    float64       // uniform timeout/internal/reset mix, like faults.Uniform
-	Timeout time.Duration // client-side abandon for lost requests (0 = plan default)
-	Outages []OutageSpec
+	Rate        float64       // uniform timeout/internal/reset mix, like faults.Uniform
+	Timeout     time.Duration // client-side abandon for lost requests (0 = plan default)
+	Outages     []OutageSpec
+	Preemptions []PreemptionSpec
+}
+
+// PreemptionSpec schedules a spot-eviction of one closed-loop worker: At
+// after the phase starts, the worker serializes its client state through
+// the snapshot codec and dies; RestoreAfter later a replacement client (a
+// fresh VM with its own NIC station) deserializes that state and
+// continues the loop. At is phase-relative so -quick duration scaling
+// cannot push the eviction past the end of the phase; it applies to every
+// closed-arrival phase whose (scaled) duration exceeds At. Schedule-
+// driven, so it consumes no injector randomness.
+type PreemptionSpec struct {
+	Worker       int           // closed-loop client index within the phase
+	At           time.Duration // eviction time, relative to phase start
+	RestoreAfter time.Duration // downtime before the replacement resumes
 }
 
 // OutageSpec is one outage window.
@@ -520,6 +563,9 @@ func decodeSpec(s *section) *Spec {
 	if set := s.child("setup"); set != nil {
 		sp.Setup = decodeSetup(set)
 	}
+	if ck := s.child("checkpoint"); ck != nil {
+		sp.Checkpoint = decodeCheckpoint(ck)
+	}
 	for _, ps := range s.listOf("phases") {
 		sp.Phases = append(sp.Phases, decodePhase(ps))
 	}
@@ -583,8 +629,29 @@ func decodeFaults(s *section) *FaultSpec {
 		})
 		os.done()
 	}
+	for _, ps := range s.listOf("preemptions") {
+		f.Preemptions = append(f.Preemptions, PreemptionSpec{
+			Worker:       ps.intv("worker", 0),
+			At:           ps.dur("at", 0),
+			RestoreAfter: ps.dur("restore_after", 0),
+		})
+		ps.done()
+	}
 	s.done()
 	return f
+}
+
+func decodeCheckpoint(s *section) *CheckpointSpec {
+	ck := &CheckpointSpec{
+		File:    s.str("file"),
+		After:   s.str("after"),
+		Restore: s.str("restore"),
+	}
+	for _, v := range s.ints("fork_seeds") {
+		ck.ForkSeeds = append(ck.ForkSeeds, int64(v))
+	}
+	s.done()
+	return ck
 }
 
 func decodeSetup(s *section) SetupSpec {
@@ -726,6 +793,60 @@ func (sp *Spec) validate() error {
 			if o.Duration <= 0 {
 				fail("faults.outages[%d].duration must be positive", i)
 			}
+		}
+		closed := false
+		for _, ph := range sp.Phases {
+			if ph.Arrival.Kind == "closed" {
+				closed = true
+			}
+		}
+		for i, pr := range sp.Faults.Preemptions {
+			if pr.Worker < 0 {
+				fail("faults.preemptions[%d].worker must be >= 0", i)
+			}
+			if pr.At <= 0 {
+				fail("faults.preemptions[%d].at must be positive", i)
+			}
+			if pr.RestoreAfter < 0 {
+				fail("faults.preemptions[%d].restore_after must be >= 0", i)
+			}
+			if !closed {
+				fail("faults.preemptions[%d]: preemptions evict closed-loop workers, but no phase has closed arrival", i)
+			}
+		}
+	}
+	if ck := sp.Checkpoint; ck != nil {
+		if sp.Driver != "workload" {
+			fail("checkpoint: stanza requires driver \"workload\"")
+		}
+		idx := -1
+		for i, ph := range sp.Phases {
+			if ph.Name == ck.After {
+				idx = i
+			}
+		}
+		if ck.After == "" {
+			fail("checkpoint.after is required (the phase the snapshot follows)")
+		} else if idx < 0 {
+			fail("checkpoint.after %q does not name a phase", ck.After)
+		} else if idx == len(sp.Phases)-1 && (len(ck.ForkSeeds) > 0 || ck.Restore != "" && ck.Restore != "never") {
+			fail("checkpoint.after %q is the last phase: nothing remains to resume or fork", ck.After)
+		}
+		switch ck.Restore {
+		case "", "never":
+		case "auto", "always":
+			if ck.File == "" {
+				fail("checkpoint.restore %q requires checkpoint.file", ck.Restore)
+			}
+		default:
+			fail("checkpoint.restore must be auto, always or never (got %q)", ck.Restore)
+		}
+		seen := map[int64]bool{}
+		for i, seed := range ck.ForkSeeds {
+			if seen[seed] {
+				fail("checkpoint.fork_seeds[%d]: duplicate seed %d", i, seed)
+			}
+			seen[seed] = true
 		}
 	}
 	tables := map[string]bool{}

@@ -1,0 +1,41 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotCodec drives Decode with arbitrary bytes (no crash, no
+// corrupt-accept) and checks the decode(encode(x)) fixed point on
+// whatever structured inputs the fuzzer reaches: any input that decodes
+// must re-encode to the exact same bytes, and any single-byte
+// corruption of a valid encoding must be rejected.
+func FuzzSnapshotCodec(f *testing.F) {
+	f.Add(buildSample().Encode(), uint8(0))
+	f.Add((&File{}).Encode(), uint8(3))
+	f.Add([]byte(Magic), uint8(0))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, flip uint8) {
+		dec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := dec.Encode()
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode(encode) not a fixed point: %d bytes in, %d out", len(data), len(enc))
+		}
+		// A bit flip anywhere in a valid file must break either a
+		// section CRC or the whole-file SHA-256.
+		if len(enc) > 0 {
+			mut := append([]byte(nil), enc...)
+			pos := int(flip) % len(mut)
+			mut[pos] ^= 1 << (flip % 8)
+			if bytes.Equal(mut, enc) {
+				return
+			}
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("corrupted byte %d accepted", pos)
+			}
+		}
+	})
+}

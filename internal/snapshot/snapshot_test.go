@@ -1,0 +1,220 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func buildSample() *File {
+	f := &File{}
+	w := f.Add("alpha")
+	w.U8(7)
+	w.Bool(true)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 40)
+	w.I64(-42)
+	w.Int(99)
+	w.F64(3.25)
+	w.Duration(1500 * time.Millisecond)
+	w.Time(time.Unix(0, 1337).UTC())
+	w.Time(time.Time{})
+	w.BytesField([]byte{1, 2, 3})
+	w.String("hello")
+	f.Add("empty")
+	return f
+}
+
+func TestRoundTrip(t *testing.T) {
+	enc := buildSample().Encode()
+	f, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Sections) != 2 || f.Sections[0].Name != "alpha" || f.Sections[1].Name != "empty" {
+		t.Fatalf("sections = %+v", f.Sections)
+	}
+	r, err := f.Reader("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if !r.Bool() {
+		t.Fatal("Bool = false")
+	}
+	if v := r.U32(); v != 0xdeadbeef {
+		t.Fatalf("U32 = %x", v)
+	}
+	if v := r.U64(); v != 1<<40 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := r.I64(); v != -42 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := r.Int(); v != 99 {
+		t.Fatalf("Int = %d", v)
+	}
+	if v := r.F64(); v != 3.25 {
+		t.Fatalf("F64 = %v", v)
+	}
+	if v := r.Duration(); v != 1500*time.Millisecond {
+		t.Fatalf("Duration = %v", v)
+	}
+	if v := r.Time(); !v.Equal(time.Unix(0, 1337)) {
+		t.Fatalf("Time = %v", v)
+	}
+	if v := r.Time(); !v.IsZero() {
+		t.Fatalf("zero Time = %v", v)
+	}
+	if v := r.BytesField(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("BytesField = %v", v)
+	}
+	if v := r.String(); v != "hello" {
+		t.Fatalf("String = %q", v)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encoding a decoded file is the identity: deterministic framing.
+	if !bytes.Equal(f.Encode(), enc) {
+		t.Fatal("re-encode differs from original bytes")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	if !bytes.Equal(buildSample().Encode(), buildSample().Encode()) {
+		t.Fatal("two encodes of identical state differ")
+	}
+}
+
+func TestCorruptionRejected(t *testing.T) {
+	enc := buildSample().Encode()
+	// Flipping any single byte must fail decode: either the section CRC
+	// or the whole-file SHA-256 catches it.
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x40
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	// Truncations must fail too.
+	for _, n := range []int{0, 7, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestCRCDistinctFromSHA(t *testing.T) {
+	// Corrupt a payload byte AND refresh the trailing SHA so only the
+	// per-section CRC can catch it.
+	f := &File{}
+	f.Add("s").String("payload-bytes-here")
+	enc := f.Encode()
+	idx := bytes.Index(enc, []byte("payload-bytes-here"))
+	if idx < 0 {
+		t.Fatal("payload not found")
+	}
+	enc[idx] ^= 0xff
+	body := enc[:len(enc)-32]
+	g, err := Decode(append(body, shaOf(body)...))
+	if err == nil {
+		t.Fatalf("crc corruption accepted: %+v", g)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderSticky(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U64() // truncated
+	if r.Err() == nil {
+		t.Fatal("no error after short read")
+	}
+	if v := r.U32(); v != 0 {
+		t.Fatalf("poisoned reader returned %d", v)
+	}
+	if err := r.Close(); err == nil {
+		t.Fatal("Close on poisoned reader succeeded")
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	w := &Writer{}
+	w.U64(1)
+	w.U64(2)
+	r := NewReader(w.Bytes())
+	r.U64()
+	if err := r.Close(); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+}
+
+func TestFileRoundTripOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.snap")
+	if err := buildSample().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Encode(), buildSample().Encode()) {
+		t.Fatal("disk round trip changed bytes")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	a := &fakeSnap{name: "a", v: 11}
+	b := &fakeSnap{name: "b", v: 22}
+	reg := &Registry{}
+	reg.Register(a)
+	reg.Register(b)
+	f := &File{}
+	reg.SaveAll(f)
+	if err := reg.VerifyAll(f); err != nil {
+		t.Fatalf("verify on unchanged state: %v", err)
+	}
+	b.v = 23
+	if err := reg.VerifyAll(f); err == nil {
+		t.Fatal("verify missed divergence")
+	} else if got := err.Error(); !bytes.Contains([]byte(got), []byte(`"b"`)) {
+		t.Fatalf("divergence error does not name section b: %v", got)
+	}
+	// Load restores the saved values.
+	dec, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.v, b.v = 0, 0
+	if err := reg.LoadAll(dec); err != nil {
+		t.Fatal(err)
+	}
+	if a.v != 11 || b.v != 22 {
+		t.Fatalf("loaded a=%d b=%d", a.v, b.v)
+	}
+}
+
+type fakeSnap struct {
+	name string
+	v    uint64
+}
+
+func (f *fakeSnap) SnapshotSection() string { return f.name }
+func (f *fakeSnap) Save(w *Writer)          { w.U64(f.v) }
+func (f *fakeSnap) Load(r *Reader) error {
+	f.v = r.U64()
+	return r.Err()
+}
+
+func shaOf(b []byte) []byte {
+	h := sha256.Sum256(b)
+	return h[:]
+}

@@ -1,0 +1,173 @@
+package tablestore
+
+import (
+	"sort"
+
+	"azurebench/internal/payload"
+	snap "azurebench/internal/snapshot"
+)
+
+// SnapshotSection implements snap.Snapshotter.
+func (s *Store) SnapshotSection() string { return "engine/table" }
+
+// Save appends the full account state — every table, partition, entity
+// and typed property — with all map levels in sorted key order so
+// identical states encode identically.
+func (s *Store) Save(w *snap.Writer) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.etags.Save(w)
+	tableNames := make([]string, 0, len(s.tables))
+	for k := range s.tables {
+		tableNames = append(tableNames, k)
+	}
+	sort.Strings(tableNames)
+	w.Int(len(tableNames))
+	for _, tn := range tableNames {
+		t := s.tables[tn]
+		w.String(t.name)
+		partKeys := make([]string, 0, len(t.partitions))
+		for k := range t.partitions {
+			partKeys = append(partKeys, k)
+		}
+		sort.Strings(partKeys)
+		w.Int(len(partKeys))
+		for _, pk := range partKeys {
+			p := t.partitions[pk]
+			w.String(pk)
+			rowKeys := make([]string, 0, len(p.rows))
+			for k := range p.rows {
+				rowKeys = append(rowKeys, k)
+			}
+			sort.Strings(rowKeys)
+			w.Int(len(rowKeys))
+			for _, rk := range rowKeys {
+				saveEntity(w, p.rows[rk])
+			}
+		}
+	}
+}
+
+// Load restores an account saved by Save, replacing all live state.
+func (s *Store) Load(r *snap.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.etags.Load(r); err != nil {
+		return err
+	}
+	nt := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	tables := make(map[string]*table, nt)
+	for i := 0; i < nt; i++ {
+		t := &table{name: r.String()}
+		np := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		t.partitions = make(map[string]*partition, np)
+		for j := 0; j < np; j++ {
+			pk := r.String()
+			nr := r.Int()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			p := &partition{rows: make(map[string]*Entity, nr)}
+			for k := 0; k < nr; k++ {
+				e, err := loadEntity(r)
+				if err != nil {
+					return err
+				}
+				p.rows[e.RowKey] = e
+			}
+			t.partitions[pk] = p
+		}
+		tables[t.name] = t
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	s.tables = tables
+	return nil
+}
+
+func saveEntity(w *snap.Writer, e *Entity) {
+	w.String(e.PartitionKey)
+	w.String(e.RowKey)
+	w.Time(e.Timestamp)
+	w.String(e.ETag)
+	props := make([]string, 0, len(e.Props))
+	for k := range e.Props {
+		props = append(props, k)
+	}
+	sort.Strings(props)
+	w.Int(len(props))
+	for _, k := range props {
+		w.String(k)
+		saveValue(w, e.Props[k])
+	}
+}
+
+func loadEntity(r *snap.Reader) (*Entity, error) {
+	e := &Entity{
+		PartitionKey: r.String(),
+		RowKey:       r.String(),
+		Timestamp:    r.Time(),
+		ETag:         r.String(),
+	}
+	np := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	e.Props = make(map[string]Value, np)
+	for i := 0; i < np; i++ {
+		k := r.String()
+		v, err := loadValue(r)
+		if err != nil {
+			return nil, err
+		}
+		e.Props[k] = v
+	}
+	return e, r.Err()
+}
+
+func saveValue(w *snap.Writer, v Value) {
+	w.U8(uint8(v.Type))
+	switch v.Type {
+	case TypeString, TypeGUID:
+		w.String(v.S)
+	case TypeInt32, TypeInt64:
+		w.I64(v.I)
+	case TypeDouble:
+		w.F64(v.F)
+	case TypeBool:
+		w.Bool(v.B)
+	case TypeDateTime:
+		w.Time(v.T)
+	case TypeBinary:
+		v.Bin.Save(w)
+	}
+}
+
+func loadValue(r *snap.Reader) (Value, error) {
+	v := Value{Type: PropType(r.U8())}
+	switch v.Type {
+	case TypeString, TypeGUID:
+		v.S = r.String()
+	case TypeInt32, TypeInt64:
+		v.I = r.I64()
+	case TypeDouble:
+		v.F = r.F64()
+	case TypeBool:
+		v.B = r.Bool()
+	case TypeDateTime:
+		v.T = r.Time()
+	case TypeBinary:
+		var err error
+		if v.Bin, err = payload.Load(r); err != nil {
+			return Value{}, err
+		}
+	}
+	return v, r.Err()
+}

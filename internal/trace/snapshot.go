@@ -1,0 +1,22 @@
+package trace
+
+import snap "azurebench/internal/snapshot"
+
+// Save appends the ID generator's stream position. Restored runs must
+// mint the exact same trace/span IDs as uninterrupted ones for the
+// trace-digest equality proof to hold.
+func (g *IDGen) Save(w *snap.Writer) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w.U64(g.state)
+	w.U64(g.n)
+}
+
+// Load restores a generator saved by Save.
+func (g *IDGen) Load(r *snap.Reader) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.state = r.U64()
+	g.n = r.U64()
+	return r.Err()
+}
